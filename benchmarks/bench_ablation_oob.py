@@ -1,0 +1,75 @@
+"""Ablation (§V-C2) — Out-Of-Bounds buffer capacity.
+
+Paper: "We have found OOB buffers with a capacity of 512-1024 items per
+rank sufficiently effective."
+
+The OOB capacity controls how much evidence the epoch-bootstrap
+renegotiation sees (all ranks' buffers are folded into the first
+partition table) and how eagerly the table is extended when new keys
+appear.  Tiny buffers bootstrap from so few samples that early
+partitions are poor and extra renegotiations fire; beyond ~a few
+hundred entries the returns vanish — at the cost of buffering memory.
+"""
+
+
+from repro.bench.results import emit
+from repro.bench.tables import banner, fmt_pct, render_table
+from repro.core.carp import CarpRun
+from repro.core.triggers import TriggerReason
+from repro.traces.vpic import generate_timestep
+from benchmarks.conftest import BENCH_OPTIONS, BENCH_SPEC
+
+CAPACITIES = (16, 64, 256, 512, 1024)
+
+
+def drifting_epoch():
+    """An epoch whose keyspace expands mid-way (early -> late timestep),
+    so the partition table must be extended through the OOB machinery."""
+    from repro.core.records import RecordBatch
+
+    a = generate_timestep(BENCH_SPEC, 0)
+    b = generate_timestep(BENCH_SPEC, 11)
+    return [RecordBatch.concat([x, y]) for x, y in zip(a, b)]
+
+
+def sweep(tmp_path):
+    streams = drifting_epoch()
+    out = {}
+    for cap in CAPACITIES:
+        opts = BENCH_OPTIONS.with_(oob_capacity=cap)
+        d = tmp_path / f"oob{cap}"
+        with CarpRun(BENCH_SPEC.nranks, d, opts) as run:
+            stats = run.ingest_epoch(0, streams)
+        out[cap] = stats
+    return out
+
+
+def test_ablation_oob_capacity(benchmark, tmp_path):
+    stats = benchmark.pedantic(lambda: sweep(tmp_path), rounds=1, iterations=1)
+    rows = []
+    for cap in CAPACITIES:
+        s = stats[cap]
+        rows.append([
+            cap,
+            s.renegotiations,
+            s.triggers.count(TriggerReason.OOB_FULL),
+            fmt_pct(s.load_stddev),
+            fmt_pct(s.stray_fraction),
+        ])
+    headers = ["OOB capacity", "renegotiations", "oob-full triggers",
+               "load std-dev", "stray fraction"]
+    text = banner(
+        "§V-C2 ablation", "OOB buffer capacity vs renegotiation churn and balance"
+    ) + "\n" + render_table(headers, rows)
+    emit("ablation_oob", text)
+
+    # tiny buffers fire many more OOB renegotiations
+    oob_fires = {c: stats[c].triggers.count(TriggerReason.OOB_FULL)
+                 for c in CAPACITIES}
+    assert oob_fires[16] > oob_fires[512]
+    # diminishing returns: 512 vs 1024 changes little (paper's
+    # "512-1024 sufficiently effective")
+    assert abs(stats[512].load_stddev - stats[1024].load_stddev) < 0.05
+    # every configuration persists everything
+    for c in CAPACITIES:
+        assert stats[c].records == 2 * BENCH_SPEC.nranks * BENCH_SPEC.particles_per_rank

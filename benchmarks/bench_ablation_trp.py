@@ -1,0 +1,94 @@
+"""Ablation (§VI) — naive all-to-root renegotiation vs TRP.
+
+TRP trades a little accuracy (intermediate pivot resampling loses
+information) for logarithmic scaling.  This ablation quantifies both
+sides:
+
+* accuracy — partition tables computed by the naive protocol and by
+  TRP from identical per-rank pivot sets, scored by the load balance
+  each achieves on the underlying keys;
+* cost — modeled round latency and per-receiver fan-in at scale.
+
+Expected shape: TRP's accuracy penalty is negligible (the paper:
+"estimation errors result in negligible imbalance"), while the naive
+protocol's root fan-in and latency grow linearly with ranks.
+"""
+
+import numpy as np
+
+from repro.bench.results import emit
+from repro.bench.tables import banner, fmt_pct, fmt_seconds, render_table
+from repro.core.partition import PartitionTable, load_stddev
+from repro.core.pivots import pivots_from_histogram
+from repro.core.renegotiation import negotiate_naive, negotiate_trp
+from repro.sim.netmodel import NetModel
+from repro.traces.vpic import VpicTraceSpec, generate_timestep
+
+SCALES = (16, 64, 256, 1024)
+PIVOT_WIDTH = 256
+
+
+def per_rank_pivots(nranks, per_rank=1500):
+    spec = VpicTraceSpec(nranks=nranks, particles_per_rank=per_rank,
+                         seed=7, value_size=8)
+    streams = generate_timestep(spec, 9)
+    pivots = [
+        pivots_from_histogram(None, None, PIVOT_WIDTH, oob_keys=s.keys)
+        for s in streams
+    ]
+    keys = np.concatenate([s.keys for s in streams])
+    return pivots, keys
+
+
+def compare(nranks):
+    pivots, keys = per_rank_pivots(nranks)
+    net = NetModel()
+    nb, ns = negotiate_naive(pivots, nranks, PIVOT_WIDTH)
+    tb, ts = negotiate_trp(pivots, nranks, PIVOT_WIDTH, fanout=64)
+    fit = lambda bounds: load_stddev(
+        PartitionTable.from_quantile_points(bounds).load_counts(
+            np.clip(keys, bounds[0], bounds[-1])
+        )
+    )
+    return {
+        "naive_fit": fit(nb),
+        "trp_fit": fit(tb),
+        "naive_latency": net.renegotiation_time(ns),
+        "trp_latency": net.renegotiation_time(ts),
+        "naive_fanin": max(f for _, f, _ in ns.levels),
+        "trp_fanin": max(f for _, f, _ in ts.levels),
+    }
+
+
+def test_ablation_naive_vs_trp(benchmark, tmp_path):
+    results = benchmark.pedantic(
+        lambda: {n: compare(n) for n in SCALES}, rounds=1, iterations=1
+    )
+    rows = [
+        [
+            n,
+            fmt_pct(r["naive_fit"]), fmt_pct(r["trp_fit"]),
+            fmt_seconds(r["naive_latency"]), fmt_seconds(r["trp_latency"]),
+            r["naive_fanin"], r["trp_fanin"],
+        ]
+        for n, r in results.items()
+    ]
+    headers = ["ranks", "naive balance", "TRP balance", "naive latency",
+               "TRP latency", "naive fan-in", "TRP fan-in"]
+    text = banner(
+        "§VI ablation", "naive all-to-root vs tree-based renegotiation (TRP)"
+    ) + "\n" + render_table(headers, rows)
+    emit("ablation_trp", text)
+
+    for n, r in results.items():
+        # TRP's lossiness penalty on balance is negligible
+        assert r["trp_fit"] < r["naive_fit"] + 0.05
+        # TRP bounds fan-in by the fanout; naive's grows with ranks
+        assert r["trp_fanin"] <= 64
+    assert results[1024]["naive_fanin"] == 1023
+    # at scale, TRP's round is much faster than naive's
+    assert results[1024]["trp_latency"] < 0.5 * results[1024]["naive_latency"]
+    # and TRP latency grows sublinearly while naive grows ~linearly
+    naive_growth = results[1024]["naive_latency"] / results[16]["naive_latency"]
+    trp_growth = results[1024]["trp_latency"] / results[16]["trp_latency"]
+    assert trp_growth < naive_growth / 4

@@ -1,0 +1,76 @@
+"""Ablation (§III) — write amplification across indexing strategies.
+
+The paper's write-rate argument in one table: the maximum achievable
+ingest rate is storage bandwidth divided by the Write Amplification
+Factor, so
+
+* CARP is designed to WAF 1x (data written exactly once),
+* post-processing sorts cost 2-3x (original write + sort passes),
+* online database indexes cost 19-37x in the literature; our compact
+  leveled LSM-tree measures its own WAF directly.
+
+CARP's and the LSM-tree's WAF are *measured* from real bytes appended;
+the post-processing WAFs follow from pass counts.
+"""
+
+
+from repro.baselines.lsm import LSMTree
+from repro.baselines.tritonsort import SORT_READ_PASSES, SORT_WRITE_PASSES
+from repro.bench.results import emit
+from repro.bench.tables import banner, fmt_si, render_table
+from repro.core.carp import CarpRun
+from repro.sim.cluster import PAPER_CLUSTER
+from repro.traces.vpic import generate_timestep
+from benchmarks.conftest import BENCH_OPTIONS, BENCH_SPEC, LATE_TS
+
+
+def measure(tmp_path):
+    streams = generate_timestep(BENCH_SPEC, LATE_TS)
+
+    with CarpRun(BENCH_SPEC.nranks, tmp_path / "carp", BENCH_OPTIONS) as run:
+        run.ingest_epoch(0, streams)
+        carp_waf = run.write_amplification()
+
+    tree = LSMTree(sst_records=512, level0_ssts=2, growth_factor=3,
+                   value_size=8)
+    for s in streams:
+        tree.insert(s)
+    tree.flush()
+    lsm_waf = tree.stats.write_amplification
+
+    # post-processing WAFs from pass structure: original write counts 1;
+    # each later write pass adds 1 (reads consume bandwidth too but the
+    # paper's WAF counts I/O operations per application write)
+    fastquery_waf = 1 + 1 + 0.24          # write + re-read + index write
+    tritonsort_waf = 1 + SORT_READ_PASSES + SORT_WRITE_PASSES
+
+    storage = PAPER_CLUSTER.storage_bound(512)
+    rows = []
+    for name, waf, measured in [
+        ("CARP", carp_waf, "measured"),
+        ("FastQuery (post-proc)", fastquery_waf, "pass count"),
+        ("TritonSort (post-proc)", tritonsort_waf, "pass count"),
+        ("LSM-tree (online)", lsm_waf, "measured"),
+    ]:
+        rows.append([name, f"{waf:.2f}x", measured,
+                     fmt_si(storage / waf, "B/s")])
+    return rows, carp_waf, lsm_waf
+
+
+def test_ablation_write_amplification(benchmark, tmp_path):
+    rows, carp_waf, lsm_waf = benchmark.pedantic(
+        lambda: measure(tmp_path), rounds=1, iterations=1
+    )
+    headers = ["approach", "WAF", "source", "max ingest @ 3 GB/s bound"]
+    text = banner(
+        "§III ablation", "write amplification factor per indexing strategy"
+    ) + "\n" + render_table(headers, rows)
+    emit("ablation_waf", text)
+
+    # CARP's design constraint: WAF ~ 1 (metadata only)
+    assert 1.0 <= carp_waf < 1.15
+    # an online index re-writes data many times
+    assert lsm_waf > 2.5
+    # in-situ strategies with high WAF would not outperform
+    # post-processing (the paper's §III argument)
+    assert lsm_waf > 1 + 0.24 + 1

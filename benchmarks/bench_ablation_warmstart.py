@@ -1,0 +1,67 @@
+"""Ablation — per-epoch bootstrap vs warm-started partition tables.
+
+The paper bootstraps CARP's partitions from scratch at every epoch
+(§V-B).  Fig. 9 hints at the alternative: a table from the *previous*
+timestep fits reasonably well except in high-drift phases.  This
+ablation runs both policies over the full synthetic VPIC run and
+compares renegotiation counts and per-epoch balance.
+
+Expected shape: warm start eliminates bootstrap renegotiations and is
+competitive while drift is slow, but inherits stale tables through the
+high-drift phase — exactly the Fig. 9 "from previous" series, now
+produced by the online system instead of an oracle.
+"""
+
+import numpy as np
+
+from repro.bench.results import emit
+from repro.bench.tables import banner, fmt_pct, render_table
+from repro.core.carp import CarpRun
+from repro.core.triggers import TriggerReason
+from repro.traces.vpic import generate_timestep
+from benchmarks.conftest import BENCH_OPTIONS, BENCH_SPEC
+
+EPOCHS = tuple(range(0, BENCH_SPEC.ntimesteps, 2))  # every other timestep
+
+
+def run_policy(tmp_path, warm: bool):
+    opts = BENCH_OPTIONS.with_(warm_start=warm)
+    out = tmp_path / ("warm" if warm else "cold")
+    stats = []
+    with CarpRun(BENCH_SPEC.nranks, out, opts) as run:
+        for epoch, ts_index in enumerate(EPOCHS):
+            stats.append(run.ingest_epoch(
+                epoch, generate_timestep(BENCH_SPEC, ts_index)
+            ))
+    return stats
+
+
+def test_ablation_warm_start(benchmark, tmp_path):
+    cold, warm = benchmark.pedantic(
+        lambda: (run_policy(tmp_path, False), run_policy(tmp_path, True)),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for i, ts_index in enumerate(EPOCHS):
+        rows.append([
+            BENCH_SPEC.timesteps[ts_index],
+            cold[i].renegotiations, fmt_pct(cold[i].load_stddev),
+            warm[i].renegotiations, fmt_pct(warm[i].load_stddev),
+        ])
+    headers = ["timestep", "cold renegs", "cold balance",
+               "warm renegs", "warm balance"]
+    text = banner(
+        "ablation", "per-epoch bootstrap (paper) vs warm-started tables"
+    ) + "\n" + render_table(headers, rows)
+    emit("ablation_warmstart", text)
+
+    # warm start never bootstraps after the first epoch
+    assert all(
+        s.triggers.count(TriggerReason.BOOTSTRAP) == 0 for s in warm[1:]
+    )
+    # both policies keep partitions workably balanced
+    assert np.mean([s.load_stddev for s in warm]) < 0.25
+    assert np.mean([s.load_stddev for s in cold]) < 0.25
+    # neither loses data
+    for s in cold + warm:
+        assert s.records == BENCH_SPEC.nranks * BENCH_SPEC.particles_per_rank

@@ -1,0 +1,67 @@
+"""Fig. 10a — renegotiation round latency vs scale and pivot count.
+
+Evaluates the TRP latency model (reduction tree, fan-out 64) from 16 to
+2048 ranks for six pivot counts (64-2048), mirroring the paper's
+microbenchmark.
+
+Expected shape: latency grows logarithmically with rank count (depth of
+the reduction tree) and roughly proportionally with pivot count
+(message size); a 512-pivot round at 2048 ranks lands in the paper's
+IPoIB ballpark (~100-200 ms).
+"""
+
+
+from repro.bench.results import emit
+from repro.bench.tables import banner, fmt_seconds, render_table
+from repro.core.renegotiation import synthetic_reneg_stats
+from repro.sim.netmodel import NetModel
+
+SCALES = (16, 32, 64, 128, 256, 512, 1024, 2048)
+PIVOT_COUNTS = (64, 128, 256, 512, 1024, 2048)
+
+
+def compute_latencies():
+    net = NetModel()
+    return {
+        (n, k): net.renegotiation_time(synthetic_reneg_stats(n, k))
+        for n in SCALES
+        for k in PIVOT_COUNTS
+    }
+
+
+def test_fig10a_renegotiation_scalability(benchmark):
+    lat = benchmark.pedantic(compute_latencies, rounds=1, iterations=1)
+    headers = ["ranks"] + [f"{k} pivots" for k in PIVOT_COUNTS]
+    rows = [
+        [n] + [fmt_seconds(lat[(n, k)]) for k in PIVOT_COUNTS]
+        for n in SCALES
+    ]
+    text = banner(
+        "Fig 10a", "TRP renegotiation round latency (fan-out 64)"
+    ) + "\n" + render_table(headers, rows)
+    emit("fig10a_reneg_scalability", text)
+
+    # paper ballpark: ~150 ms at 2048 ranks / 512 pivots (IPoIB)
+    assert 0.03 < lat[(2048, 512)] < 0.4
+
+    # logarithmic scaling: going 16 -> 2048 ranks (128x) costs << 128x
+    for k in PIVOT_COUNTS:
+        assert lat[(2048, k)] < 12 * lat[(16, k)]
+        # monotone in scale
+        ts = [lat[(n, k)] for n in SCALES]
+        assert all(b >= a for a, b in zip(ts, ts[1:]))
+
+    # more pivots -> proportionally higher latency at every scale
+    for n in SCALES:
+        ks = [lat[(n, k)] for k in PIVOT_COUNTS]
+        assert all(b > a for a, b in zip(ks, ks[1:]))
+    # message-size term roughly linear in pivot count at large k
+    assert lat[(2048, 2048)] / lat[(2048, 512)] > 1.5
+
+
+def test_fig10a_latency_model_speed(benchmark):
+    """Timed kernel: pricing one 2048-rank round."""
+    net = NetModel()
+    stats = synthetic_reneg_stats(2048, 512)
+    t = benchmark(lambda: net.renegotiation_time(stats))
+    assert t > 0

@@ -1,0 +1,65 @@
+"""Fig. 10b — lossiness of the pivot representation vs pivot count.
+
+Oracle pivots are computed from the full key distribution of each of
+the 12 timesteps at several pivot counts; the partition table derived
+from them is scored by how evenly it splits that same timestep's keys
+(normalized load std-dev — zero would mean a lossless representation).
+
+Expected shape: higher pivot counts reduce imbalance with diminishing
+returns beyond ~256-512; the final (most skewed, longest-tailed)
+timesteps are the hardest to reconstruct at low pivot counts.
+"""
+
+import numpy as np
+
+from repro.baselines.static_partition import pivot_lossiness_study
+from repro.bench.results import emit
+from repro.bench.tables import banner, fmt_pct, render_table
+from benchmarks.conftest import BENCH_SPEC
+
+NPARTS = 512
+PIVOT_COUNTS = (16, 32, 64, 128, 256, 512, 1024, 2048)
+
+
+def test_fig10b_pivot_lossiness(benchmark, bench_all_timestep_keys):
+    keys = bench_all_timestep_keys
+    study = benchmark.pedantic(
+        lambda: pivot_lossiness_study(keys, NPARTS, PIVOT_COUNTS),
+        rounds=1, iterations=1,
+    )
+    headers = ["timestep"] + [f"{k}p" for k in PIVOT_COUNTS]
+    rows = [
+        [BENCH_SPEC.timesteps[i]]
+        + [fmt_pct(study[k][i]) for k in PIVOT_COUNTS]
+        for i in range(len(keys))
+    ]
+    text = banner(
+        "Fig 10b", f"pivot-count lossiness: load std-dev of oracle tables "
+        f"({NPARTS} partitions)"
+    ) + "\n" + render_table(headers, rows)
+    emit("fig10b_pivot_lossiness", text)
+
+    means = {k: float(np.mean(study[k])) for k in PIVOT_COUNTS}
+
+    # more pivots -> lower loss, monotonically in the mean
+    ordered = [means[k] for k in PIVOT_COUNTS]
+    assert all(b <= a * 1.2 for a, b in zip(ordered, ordered[1:]))
+    assert means[2048] < means[16] / 5
+
+    # diminishing returns beyond ~256 pivots
+    gain_low = means[32] - means[256]
+    gain_high = means[256] - means[2048]
+    assert gain_low > 2 * gain_high
+
+    # the last (extremely skewed) timesteps are hardest at low counts
+    low = np.array(study[32])
+    assert low[-2:].mean() > low[:3].mean()
+
+
+def test_fig10b_oracle_table_speed(benchmark, bench_all_timestep_keys):
+    """Timed kernel: oracle pivots + table for one timestep at 512p."""
+    from repro.baselines.static_partition import oracle_partition_table
+
+    keys = bench_all_timestep_keys[-1]
+    table = benchmark(lambda: oracle_partition_table(keys, NPARTS, 512))
+    assert table.nparts == NPARTS

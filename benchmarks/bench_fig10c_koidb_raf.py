@@ -1,0 +1,116 @@
+"""Fig. 10c — impact of KoiDB repartitioning on read amplification.
+
+Each benchmark epoch carries strong *intra-epoch* drift (an early and a
+late VPIC timestep concatenated into one stream), a 1-round shuffle
+delivery delay, and memtables large enough to span several
+renegotiations — the regime where, without KoiDB's repartitioning,
+every flushed SST unions multiple owned ranges plus in-flight strays
+and partition selectivity collapses.  CARP runs twice (repartitioning
+on/off) at 64 ranks, and the RAF profile (bytes of SSTs covering a
+probe key / perfectly-balanced read size) is summarized at the 50th and
+99th percentile over data-distributed probes.
+
+Expected shape: without repartitioning, median and tail RAF reach
+10-25x (the paper reports 16-64x at 512 partitions); with
+repartitioning they collapse toward 1-2x — the paper's "up to 48x"
+selectivity improvement, scaled to this partition count.
+"""
+
+import numpy as np
+
+from repro.bench.results import emit
+from repro.bench.tables import banner, render_table
+from repro.core.carp import CarpRun
+from repro.core.records import RecordBatch
+from repro.query.engine import PartitionedStore
+from repro.query.metrics import raf_percentiles, read_amplification_profile
+from repro.traces.vpic import VpicTraceSpec, generate_timestep
+from benchmarks.conftest import BENCH_OPTIONS
+
+RAF_SPEC = VpicTraceSpec(nranks=64, particles_per_rank=2000, seed=2024,
+                         value_size=8)
+NRANKS = RAF_SPEC.nranks
+EPOCH_PAIRS = ((0, 11), (2, 9), (4, 10))
+
+RAF_OPTIONS = BENCH_OPTIONS.with_(
+    shuffle_delay_rounds=1,
+    renegotiations_per_epoch=8,
+    round_records=64,
+    memtable_records=4096,
+    oob_capacity=128,
+)
+
+
+def drifting_streams(pair):
+    """One epoch whose streams drift mid-way (timestep a -> b)."""
+    a = generate_timestep(RAF_SPEC, pair[0])
+    b = generate_timestep(RAF_SPEC, pair[1])
+    return [RecordBatch.concat([x, y]) for x, y in zip(a, b)]
+
+
+def ingest(tmp_path, separate_strays: bool):
+    out = tmp_path / ("sep" if separate_strays else "nosep")
+    opts = RAF_OPTIONS.with_(separate_strays=separate_strays)
+    stats = {}
+    with CarpRun(NRANKS, out, opts) as run:
+        for epoch, pair in enumerate(EPOCH_PAIRS):
+            stats[epoch] = run.ingest_epoch(epoch, drifting_streams(pair))
+    return out, stats
+
+
+def measure(tmp_path):
+    rows = []
+    numbers = {}
+    for separate in (False, True):
+        out, stats = ingest(tmp_path, separate)
+        with PartitionedStore(out) as store:
+            for epoch, pair in enumerate(EPOCH_PAIRS):
+                lo, hi = store.key_range(epoch)
+                sample = store.query(epoch, lo, hi)
+                probes = np.quantile(sample.keys.astype(np.float64),
+                                     np.linspace(0.02, 0.98, 49))
+                raf = read_amplification_profile(store, epoch, probes, NRANKS)
+                p50, p99 = raf_percentiles(raf)
+                numbers[(separate, epoch)] = (p50, p99)
+                rows.append([
+                    f"T{RAF_SPEC.timesteps[pair[0]]}+T{RAF_SPEC.timesteps[pair[1]]}",
+                    "on" if separate else "off",
+                    f"{stats[epoch].stray_fraction:.1%}",
+                    f"{p50:.1f}x", f"{p99:.1f}x",
+                ])
+    return rows, numbers
+
+
+def test_fig10c_repartitioning_raf(benchmark, tmp_path):
+    rows, numbers = benchmark.pedantic(
+        lambda: measure(tmp_path), rounds=1, iterations=1
+    )
+    headers = ["epoch (drift)", "repartitioning", "stray frac", "RAF p50",
+               "RAF p99"]
+    text = banner(
+        "Fig 10c", f"read amplification with/without KoiDB repartitioning "
+        f"({NRANKS} partitions, memtables spanning renegotiations)"
+    ) + "\n" + render_table(headers, rows)
+    emit("fig10c_koidb_raf", text)
+
+    for epoch in range(len(EPOCH_PAIRS)):
+        off_p50, off_p99 = numbers[(False, epoch)]
+        on_p50, on_p99 = numbers[(True, epoch)]
+        # repartitioning collapses both median and tail RAF
+        assert on_p50 < off_p50 / 2
+        assert on_p99 < off_p99 / 2
+        # with repartitioning, the median approaches ideal (paper: 1-2x)
+        assert on_p50 < 4.0
+        # without it, selectivity collapses toward the partition count
+        assert off_p50 > 6.0
+
+
+def test_fig10c_raf_profile_speed(benchmark, bench_carp):
+    """Timed kernel: one 49-probe RAF profile over real manifests."""
+    with PartitionedStore(bench_carp["dir"]) as store:
+        lo, hi = store.key_range(2)
+        probes = np.linspace(lo, hi, 49)
+        raf = benchmark(
+            lambda: read_amplification_profile(store, 2, probes, 16)
+        )
+    assert len(raf) == 49

@@ -1,0 +1,121 @@
+"""Fig. 7b — effective write throughput vs scale (32-1024 ranks).
+
+For each rank count the harness reports the effective I/O throughput
+(application data volume / total runtime, 188 GB per timestep held
+constant across scales as in the paper) of:
+
+* Storage Bound / Network Bound — the cluster envelope,
+* DeltaFS — in-situ hash partitioning (min of the two bounds),
+* CARP/ShuffleOnly — CARP with receivers dropping data (network path
+  plus renegotiation pauses),
+* CARP — the full pipeline,
+* FastQuery, TritonSort — post-processing approaches.
+
+Renegotiation pauses are priced with the TRP latency model at the
+target scale and the *count* of renegotiations measured from a real
+logical CARP run.
+
+Expected shape (paper Observation 3): CARP tracks DeltaFS and the
+min(network, storage) envelope — no overhead over unpartitioned I/O
+once the network bound exceeds storage — while FastQuery sits ~2.8x
+and TritonSort ~4.9x below the storage bound.
+"""
+
+import pytest
+
+from repro.baselines import fastquery, tritonsort
+from repro.bench.results import emit
+from repro.bench.tables import banner, fmt_si, render_table
+from repro.core.renegotiation import synthetic_reneg_stats
+from repro.sim.cluster import GB, PAPER_CLUSTER
+from repro.sim.engine import simulate_ingestion
+from repro.sim.netmodel import NetModel
+
+DATA_BYTES = 188 * GB
+SCALES = (32, 64, 128, 256, 512, 1024)
+
+
+def carp_reneg_pauses(nranks: int, count: int, pivot_width: int = 512):
+    net = NetModel.from_cluster(PAPER_CLUSTER)
+    stats = synthetic_reneg_stats(nranks, pivot_width)
+    return [net.renegotiation_time(stats)] * count
+
+
+def compute_series(reneg_count: int):
+    series = {}
+    for n in SCALES:
+        storage = PAPER_CLUSTER.storage_bound(n)
+        network = PAPER_CLUSTER.network_bound(n)
+        pauses = carp_reneg_pauses(n, reneg_count)
+        buffers = n * 2.0 * 12 * 1024 * 1024
+        carp = simulate_ingestion(DATA_BYTES, network, storage,
+                                  reneg_pauses=pauses,
+                                  receiver_buffer_bytes=buffers)
+        shuffle_only = simulate_ingestion(DATA_BYTES, network, None,
+                                          reneg_pauses=pauses)
+        deltafs = simulate_ingestion(DATA_BYTES, network, storage)
+        series[n] = {
+            "storage_bound": storage,
+            "network_bound": network,
+            "deltafs": deltafs.effective_throughput,
+            "carp_shuffle_only": shuffle_only.effective_throughput,
+            "carp": carp.effective_throughput,
+            "fastquery": fastquery.ingestion_throughput(DATA_BYTES, storage),
+            "tritonsort": tritonsort.ingestion_throughput(DATA_BYTES, n),
+        }
+    return series
+
+
+def test_fig7b_effective_throughput(benchmark, bench_carp):
+    reneg_count = max(
+        stats.renegotiations for stats in bench_carp["stats"].values()
+    )
+    series = benchmark.pedantic(
+        lambda: compute_series(reneg_count), rounds=1, iterations=1
+    )
+    headers = ["ranks", "StorageBound", "NetworkBound", "DeltaFS",
+               "CARP/ShuffleOnly", "CARP", "FastQuery", "TritonSort"]
+    rows = [
+        [n] + [fmt_si(series[n][k], "B/s") for k in (
+            "storage_bound", "network_bound", "deltafs",
+            "carp_shuffle_only", "carp", "fastquery", "tritonsort")]
+        for n in SCALES
+    ]
+    text = banner(
+        "Fig 7b", f"effective write throughput, 188 GB/timestep, "
+        f"{reneg_count} renegotiations/epoch"
+    ) + "\n" + render_table(headers, rows)
+    emit("fig7b_write_throughput", text)
+
+    s512 = series[512]
+    # CARP saturates storage at large scale (no overhead vs raw I/O)
+    assert s512["carp"] == pytest.approx(s512["storage_bound"], rel=0.05)
+    # post-processing slowdowns land near the paper's 2.8x / 4.9x
+    assert s512["storage_bound"] / s512["fastquery"] == pytest.approx(2.8, rel=0.15)
+    assert s512["storage_bound"] / s512["tritonsort"] == pytest.approx(4.9, rel=0.15)
+    # CARP is 2.8-4.9x faster than post-processing (Observation 3)
+    assert 2.3 < s512["carp"] / s512["fastquery"] < 3.3
+    assert 4.2 < s512["carp"] / s512["tritonsort"] < 5.5
+    # at small scale both in-situ systems are network-bound
+    s32 = series[32]
+    assert s32["carp"] < s32["storage_bound"]
+    assert s32["carp"] == pytest.approx(s32["deltafs"], rel=0.1)
+    # ShuffleOnly scales with the network, beyond storage at high ranks
+    assert series[1024]["carp_shuffle_only"] > series[1024]["storage_bound"]
+
+
+def test_fig7b_pipeline_simulation_speed(benchmark):
+    """Timed kernel: one pipeline simulation at 512 ranks."""
+    pauses = carp_reneg_pauses(512, 8)
+
+    def run():
+        return simulate_ingestion(
+            DATA_BYTES,
+            PAPER_CLUSTER.network_bound(512),
+            PAPER_CLUSTER.storage_bound(512),
+            reneg_pauses=pauses,
+            receiver_buffer_bytes=512 * 24e6,
+        )
+
+    res = benchmark(run)
+    assert res.effective_throughput > 0

@@ -1,0 +1,131 @@
+"""Fig. 8 — YCSB Workload E query batches against CARP and TritonSort.
+
+The paper runs this suite with 4-way KoiDB subpartitioning ("CARP's
+median selectivity of 0.07% (with 4-way KoiDB subpartitioning enabled)"),
+so the benchmark measures both the plain and the 4-way subpartitioned
+CARP layouts.
+
+Workload E's scans are defined in sorted-SST numbers: start positions
+drawn from YCSB's Zipfian distribution, fixed widths of 5/20/50/100
+SSTs, execution order scrambled by the FNV hash.  SST ranges are
+translated into key ranges via the sorted layout's boundaries so both
+systems answer identical queries, exactly as the paper does.  Batches
+run for two timesteps (an early and a late one).
+
+Expected shape: CARP is slower for the most selective batch (width 5 —
+below its per-partition floor) but comparable for wider scans, despite
+paying the merge cost (paper Fig. 8).
+"""
+
+import pytest
+
+from repro.bench.results import emit
+from repro.core.carp import CarpRun
+from benchmarks.conftest import BENCH_OPTIONS, BENCH_SPEC
+from repro.bench.tables import banner, fmt_seconds, render_table
+from repro.query.engine import PartitionedStore
+from repro.storage.compactor import sorted_sst_boundaries
+from repro.workloads.ycsb import sst_query_to_key_range, workload_e_batch
+from benchmarks.conftest import EARLY_TS, LATE_TS
+
+WIDTHS = (5, 20, 50, 100)
+QUERIES_PER_BATCH = 100  # paper: 1000; scaled 10x down with the data
+
+
+@pytest.fixture(scope="module")
+def bench_carp_sub4(tmp_path_factory, bench_streams):
+    """CARP output with the paper's 4-way KoiDB subpartitioning."""
+    out = tmp_path_factory.mktemp("fig8_sub4")
+    opts = BENCH_OPTIONS.with_(subpartitions=4, memtable_records=2048)
+    with CarpRun(BENCH_SPEC.nranks, out, opts) as run:
+        for epoch, streams in bench_streams.items():
+            run.ingest_epoch(epoch, streams)
+    return out
+
+
+def run_batches(carp_dir, sub4_dir, sorted_dirs):
+    rows = []
+    agg = {"carp": {}, "carp4": {}, "sorted": {},
+           "carp_bytes": {}, "carp4_bytes": {}}
+    with PartitionedStore(carp_dir) as carp,             PartitionedStore(sub4_dir) as carp4:
+        for ts in (EARLY_TS, LATE_TS):
+            bounds = sorted_sst_boundaries(sorted_dirs[ts])
+            n_ssts = len(bounds) - 1
+            with PartitionedStore(sorted_dirs[ts]) as sorted_store:
+                for width in WIDTHS:
+                    w = min(width, n_ssts)
+                    batch = workload_e_batch(n_ssts, w, QUERIES_PER_BATCH,
+                                             seed=ts * 100 + width)
+                    carp_t = carp4_t = sort_t = 0.0
+                    carp_b = carp4_b = 0
+                    matched = 0
+                    for q in batch:
+                        lo, hi = sst_query_to_key_range(q, bounds)
+                        c = carp.query(ts, lo, hi)
+                        c4 = carp4.query(ts, lo, hi)
+                        s = sorted_store.query(ts, lo, hi)
+                        assert len(c) == len(s) == len(c4)
+                        carp_t += c.cost.latency
+                        carp4_t += c4.cost.latency
+                        sort_t += s.cost.latency
+                        carp_b += c.cost.bytes_read
+                        carp4_b += c4.cost.bytes_read
+                        matched += len(c)
+                    agg["carp"][(ts, w)] = carp_t
+                    agg["carp4"][(ts, w)] = carp4_t
+                    agg["sorted"][(ts, w)] = sort_t
+                    agg["carp_bytes"][(ts, w)] = carp_b
+                    agg["carp4_bytes"][(ts, w)] = carp4_b
+                    rows.append([
+                        ts, w, matched,
+                        fmt_seconds(carp_t), fmt_seconds(carp4_t),
+                        fmt_seconds(sort_t),
+                        f"{carp4_t / sort_t:.2f}x",
+                    ])
+    return rows, agg
+
+
+def test_fig8_workload_e(benchmark, bench_carp, bench_carp_sub4,
+                         bench_sorted):
+    rows, agg = benchmark.pedantic(
+        lambda: run_batches(bench_carp["dir"], bench_carp_sub4, bench_sorted),
+        rounds=1, iterations=1,
+    )
+    headers = ["timestep", "width(SSTs)", "matched", "CARP batch",
+               "CARP 4-way batch", "TritonSort batch", "CARP4/sorted"]
+    text = banner(
+        "Fig 8", f"YCSB Workload E batches ({QUERIES_PER_BATCH} queries/batch, "
+        "Zipfian starts, fnv-scrambled order)"
+    ) + "\n" + render_table(headers, rows)
+    emit("fig8_ycsb", text)
+
+    for ts in (EARLY_TS, LATE_TS):
+        widths = sorted({w for t, w in agg["carp"] if t == ts})
+        ratio = lambda w: agg["carp"][(ts, w)] / agg["sorted"][(ts, w)]
+        ratio4 = lambda w: agg["carp4"][(ts, w)] / agg["sorted"][(ts, w)]
+        # narrow scans: CARP pays its partition floor
+        assert ratio(widths[0]) > 1.0
+        # wide scans close the gap (paper: "comparable/better for
+        # larger queries despite the sorting overhead")
+        assert ratio(widths[-1]) < ratio(widths[0])
+        assert ratio(widths[-1]) < 4.0
+        # subpartitioning's fundamental effect: smaller SSTs mean fewer
+        # *bytes* fetched for the narrowest scans (the paper ran this
+        # suite with 4-way subpartitioning; at our scale the saved
+        # bytes trade against extra read requests, so latency parity is
+        # the realistic expectation, not a win)
+        assert (agg["carp4_bytes"][(ts, widths[0])]
+                < agg["carp_bytes"][(ts, widths[0])])
+        assert ratio4(widths[0]) < 1.5 * ratio(widths[0])
+        assert ratio4(widths[-1]) < 4.0
+
+
+def test_fig8_single_scan_speed(benchmark, bench_carp, bench_sorted):
+    """Timed kernel: one width-20 Workload E scan on CARP output."""
+    bounds = sorted_sst_boundaries(bench_sorted[LATE_TS])
+    n_ssts = len(bounds) - 1
+    q = workload_e_batch(n_ssts, min(20, n_ssts), 1, seed=9)[0]
+    lo, hi = sst_query_to_key_range(q, bounds)
+    with PartitionedStore(bench_carp["dir"]) as store:
+        res = benchmark(lambda: store.query(LATE_TS, lo, hi))
+    assert len(res) >= 0

@@ -1,0 +1,72 @@
+"""Fig. 9 — static vs adaptive partitioning across timestep drift.
+
+Builds oracle partition tables from perfect knowledge of a timestep and
+measures how balanced they keep the load (normalized load std-dev) when
+applied across the run:
+
+* ``from first``   — static: computed once from timestep 0,
+* ``from previous``— recomputed each timestep from the one before,
+* ``from current`` — the (unachievable online) lower bound.
+
+Expected shape: from-first degrades monotonically as the distribution
+drifts; from-previous does better but spikes where the simulation is
+most active (the high-entropy phase around timestep ~3800); from-
+current is near zero everywhere, limited only by summary-statistics
+lossiness.
+"""
+
+import numpy as np
+
+from repro.baselines.static_partition import static_partitioning_study
+from repro.bench.results import emit
+from repro.bench.tables import banner, fmt_pct, render_table
+from repro.traces.stats import distribution_drift
+from benchmarks.conftest import BENCH_SPEC
+
+NPARTS = 512  # partitions per the paper's 512-rank runs
+
+
+def test_fig9_static_partitioning(benchmark, bench_all_timestep_keys):
+    keys = bench_all_timestep_keys
+    study = benchmark.pedantic(
+        lambda: static_partitioning_study(keys, nparts=NPARTS, pivot_count=512),
+        rounds=1, iterations=1,
+    )
+    drifts = [0.0] + [
+        distribution_drift(a, b) for a, b in zip(keys, keys[1:])
+    ]
+    rows = [
+        [
+            BENCH_SPEC.timesteps[i],
+            fmt_pct(study["from_first"][i]),
+            fmt_pct(study["from_previous"][i]),
+            fmt_pct(study["from_current"][i]),
+            f"{drifts[i]:.2f}",
+        ]
+        for i in range(len(keys))
+    ]
+    headers = ["timestep", "from first", "from previous", "from current",
+               "drift"]
+    text = banner(
+        "Fig 9", f"load std-dev of static partitioning schemes ({NPARTS} "
+        "partitions, oracle tables)"
+    ) + "\n" + render_table(headers, rows)
+    emit("fig9_static_partitioning", text)
+
+    first = np.array(study["from_first"])
+    prev = np.array(study["from_previous"])
+    cur = np.array(study["from_current"])
+
+    # static partitioning devolves as the distribution drifts
+    assert first[-1] > 5 * first[:3].mean()
+    # previous-timestep tables beat static late in the run
+    assert prev[6:].mean() < first[6:].mean()
+    # from-previous peaks during the high-drift phase, then recovers
+    peak = int(np.argmax(prev))
+    assert 4 <= peak <= len(prev) - 2
+    assert prev[-1] < prev[peak] / 2
+    # current-timestep tables fit nearly perfectly (lossiness only)
+    assert cur.max() < 0.08
+    # lower bound by definition
+    assert np.all(cur <= first + 1e-9)
+    assert np.all(cur <= prev + 1e-9)

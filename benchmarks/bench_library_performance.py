@@ -1,0 +1,96 @@
+"""Library microbenchmarks: the hot paths of this implementation.
+
+Not a paper figure — these pytest-benchmark kernels track the Python
+implementation's own performance on its hot paths, so regressions in
+the vectorized routines (routing, pivot math, SST codec, query merge)
+are visible.  Grouped so ``--benchmark-group-by=group`` reads well.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionTable
+from repro.core.pivots import pivot_union, pivots_from_histogram
+from repro.core.records import RecordBatch
+from repro.shuffle.router import hash_route, range_route, split_by_destination
+from repro.storage.sstable import build_sstable, parse_sstable
+
+N = 100_000
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(0)
+    return RecordBatch.from_keys(
+        rng.lognormal(size=N).astype(np.float32), value_size=8
+    )
+
+
+@pytest.fixture(scope="module")
+def table(batch):
+    bounds = np.quantile(batch.keys.astype(np.float64),
+                         np.linspace(0, 1, 65))
+    return PartitionTable.from_quantile_points(bounds)
+
+
+@pytest.mark.benchmark(group="routing")
+def test_perf_range_route(benchmark, batch, table):
+    dests = benchmark(lambda: range_route(batch, table))
+    assert len(dests) == N
+
+
+@pytest.mark.benchmark(group="routing")
+def test_perf_hash_route(benchmark, batch):
+    dests = benchmark(lambda: hash_route(batch, 64))
+    assert len(dests) == N
+
+
+@pytest.mark.benchmark(group="routing")
+def test_perf_split_by_destination(benchmark, batch, table):
+    dests = range_route(batch, table)
+    per_dest, oob = benchmark(lambda: split_by_destination(batch, dests))
+    assert sum(len(b) for b in per_dest.values()) + len(oob) == N
+
+
+@pytest.mark.benchmark(group="pivots")
+def test_perf_pivots_from_samples(benchmark, batch):
+    piv = benchmark(
+        lambda: pivots_from_histogram(None, None, 512, oob_keys=batch.keys)
+    )
+    assert piv is not None
+
+
+@pytest.mark.benchmark(group="pivots")
+def test_perf_pivot_union_64_ranks(benchmark):
+    rng = np.random.default_rng(1)
+    sets = [
+        pivots_from_histogram(None, None, 512,
+                              oob_keys=rng.lognormal(size=2000))
+        for _ in range(64)
+    ]
+    merged = benchmark(lambda: pivot_union(sets, 512))
+    assert merged.width == 512
+
+
+@pytest.mark.benchmark(group="storage")
+def test_perf_sstable_build(benchmark, batch):
+    data, info = benchmark(lambda: build_sstable(batch, epoch=0))
+    assert info.count == N
+
+
+@pytest.mark.benchmark(group="storage")
+def test_perf_sstable_parse(benchmark, batch):
+    data, _ = build_sstable(batch, epoch=0)
+    info, parsed = benchmark(lambda: parse_sstable(data))
+    assert len(parsed) == N
+
+
+@pytest.mark.benchmark(group="query")
+def test_perf_sort_merge(benchmark, batch):
+    runs = [batch.select(np.arange(i, N, 8)) for i in range(8)]
+
+    def merge():
+        return RecordBatch.concat(runs).sorted_by_key()
+
+    merged = benchmark(merge)
+    assert len(merged) == N

@@ -1,0 +1,78 @@
+"""Scale sweep — partition count vs selectivity floor and balance.
+
+§VII-A: "minimum effective query selectivity is capped by the size of
+one CARP partition — 0.18% (or 1/512) for 512 ranks.  This percentage
+decreases with scale as the number of partitions increases and when
+subpartitioning is enabled."
+
+The sweep ingests the same total data volume at 8-64 logical ranks
+(and with 4-way subpartitioning at the largest scale) and measures the
+median point-query selectivity of the resulting layout, which should
+track ~1/partitions, while load balance stays healthy at every scale.
+"""
+
+import numpy as np
+
+from repro.bench.results import emit
+from repro.bench.tables import banner, fmt_pct, render_table
+from repro.core.carp import CarpRun
+from repro.query.engine import PartitionedStore
+from repro.query.metrics import selectivity_profile
+from repro.traces.vpic import VpicTraceSpec, generate_timestep
+from benchmarks.conftest import BENCH_OPTIONS
+
+TOTAL_RECORDS = 96_000
+SCALES = (8, 16, 32, 64)
+
+
+def run_scale(tmp_path, nranks: int, subpartitions: int = 1):
+    spec = VpicTraceSpec(nranks=nranks,
+                         particles_per_rank=TOTAL_RECORDS // nranks,
+                         seed=77, value_size=8)
+    opts = BENCH_OPTIONS.with_(subpartitions=subpartitions,
+                               round_records=max(4096 // nranks, 64))
+    out = tmp_path / f"n{nranks}_s{subpartitions}"
+    with CarpRun(nranks, out, opts) as run:
+        stats = run.ingest_epoch(0, generate_timestep(spec, 9))
+    with PartitionedStore(out) as store:
+        sample = store.query(0, *store.key_range(0))
+        probes = np.quantile(sample.keys.astype(np.float64),
+                             np.linspace(0.05, 0.95, 19))
+        sel = selectivity_profile(store, 0, probes)
+    return stats, float(np.median(sel))
+
+
+def test_scale_sweep(benchmark, tmp_path):
+    def sweep():
+        rows = []
+        numbers = {}
+        for n in SCALES:
+            stats, median_sel = run_scale(tmp_path, n)
+            numbers[(n, 1)] = (stats.load_stddev, median_sel)
+            rows.append([n, 1, fmt_pct(stats.load_stddev),
+                         fmt_pct(median_sel), fmt_pct(1.0 / n)])
+        stats, median_sel = run_scale(tmp_path, SCALES[-1], subpartitions=4)
+        numbers[(SCALES[-1], 4)] = (stats.load_stddev, median_sel)
+        rows.append([SCALES[-1], 4, fmt_pct(stats.load_stddev),
+                     fmt_pct(median_sel), fmt_pct(1.0 / SCALES[-1])])
+        return rows, numbers
+
+    rows, numbers = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["ranks", "subpartitions", "load std-dev",
+               "median point selectivity", "1/partitions"]
+    text = banner(
+        "§VII-A scale", "selectivity floor and balance vs partition count"
+    ) + "\n" + render_table(headers, rows)
+    emit("scale_sweep", text)
+
+    # the selectivity floor shrinks as partitions multiply
+    sels = [numbers[(n, 1)][1] for n in SCALES]
+    assert all(b < a for a, b in zip(sels, sels[1:]))
+    # and tracks ~1/partitions within a small constant factor
+    for n in SCALES:
+        assert numbers[(n, 1)][1] < 4.0 / n
+    # subpartitioning tightens it further at fixed rank count
+    assert numbers[(SCALES[-1], 4)][1] < numbers[(SCALES[-1], 1)][1]
+    # balance stays workable at every scale
+    for key, (balance, _) in numbers.items():
+        assert balance < 0.30

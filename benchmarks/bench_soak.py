@@ -1,0 +1,63 @@
+"""Soak test — the full pipeline at the largest laptop-friendly scale.
+
+One epoch of ~1M records through 128 logical ranks (a quarter of the
+paper's rank count), end to end: adaptive ingest, real files, and a
+verified 5%-selectivity query.  Asserts the headline invariants hold
+together at scale: near-1x write amplification, single-digit load
+imbalance, and query I/O proportional to selectivity.
+"""
+
+import numpy as np
+
+from repro.bench.results import emit
+from repro.bench.tables import banner, render_table
+from repro.core.carp import CarpRun
+from repro.core.config import CarpOptions
+from repro.core.records import range_mask
+from repro.query.engine import PartitionedStore
+from repro.traces.vpic import VpicTraceSpec, generate_timestep
+
+SPEC = VpicTraceSpec(nranks=128, particles_per_rank=8000, seed=123,
+                     value_size=8)
+OPTS = CarpOptions(
+    pivot_count=512, oob_capacity=256, renegotiations_per_epoch=6,
+    memtable_records=4096, round_records=512, value_size=8,
+)
+
+
+def test_soak_1m_records_128_ranks(benchmark, tmp_path):
+    streams = generate_timestep(SPEC, 9)
+    keys = np.concatenate([b.keys for b in streams])
+
+    def ingest():
+        with CarpRun(SPEC.nranks, tmp_path / "soak", OPTS) as run:
+            stats = run.ingest_epoch(0, streams)
+            return stats, run.write_amplification()
+
+    stats, waf = benchmark.pedantic(ingest, rounds=1, iterations=1)
+
+    lo, hi = map(float, np.quantile(keys.astype(np.float64), [0.40, 0.45]))
+    with PartitionedStore(tmp_path / "soak") as store:
+        res = store.query(0, lo, hi)
+        frac = res.cost.bytes_read / store.total_bytes(0)
+    expect = int(np.count_nonzero(range_mask(keys, lo, hi)))
+
+    rows = [
+        ["records", f"{stats.records:,}"],
+        ["ranks / partitions", SPEC.nranks],
+        ["renegotiations", stats.renegotiations],
+        ["load std-dev", f"{stats.load_stddev:.2%}"],
+        ["stray fraction", f"{stats.stray_fraction:.2%}"],
+        ["write amplification", f"{waf:.3f}x"],
+        ["5%-query matches", f"{len(res):,} (exact)"],
+        ["5%-query bytes read", f"{frac:.1%} of data"],
+    ]
+    text = banner("soak", "1M records through 128 ranks, end to end")
+    text += "\n" + render_table(["metric", "value"], rows)
+    emit("soak", text)
+
+    assert stats.records == 1_024_000
+    assert len(res) == expect            # exact query results at scale
+    assert stats.load_stddev < 0.10      # single-digit imbalance
+    assert waf < 1.05                    # WAF ~ 1x (metadata only)
+    assert frac < 0.10                   # I/O ~ selectivity (+ floor)

@@ -1,0 +1,84 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmark workload is a scaled-down analogue of the paper's: a
+synthetic 16-rank VPIC trace standing in for the 512-rank, 188 GB/
+timestep production trace.  Ingests and layouts are built once per
+session and shared across benchmark files.
+
+Every benchmark prints the paper table it regenerates AND persists it
+under ``results/`` (see :mod:`repro.bench.results`), so the series
+survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.carp import CarpRun
+from repro.core.config import CarpOptions
+from repro.storage.compactor import compact_epoch
+from repro.traces.vpic import VpicTraceSpec, generate_timestep, timestep_keys
+
+#: Benchmark scale: 16 ranks x 6000 particles x 12 timesteps.
+BENCH_SPEC = VpicTraceSpec(nranks=16, particles_per_rank=6000, seed=2024,
+                           value_size=8)
+
+BENCH_OPTIONS = CarpOptions(
+    pivot_count=256,
+    oob_capacity=128,
+    renegotiations_per_epoch=6,
+    memtable_records=1024,
+    round_records=512,
+    value_size=8,
+    subpartitions=1,
+)
+
+#: Timestep indices used where a single "early" and "late" epoch suffice.
+EARLY_TS = 2
+LATE_TS = 10
+
+
+@pytest.fixture(scope="session")
+def bench_spec() -> VpicTraceSpec:
+    return BENCH_SPEC
+
+
+@pytest.fixture(scope="session")
+def bench_streams():
+    return {ts: generate_timestep(BENCH_SPEC, ts) for ts in (EARLY_TS, LATE_TS)}
+
+
+@pytest.fixture(scope="session")
+def bench_keys(bench_streams):
+    return {
+        ts: np.concatenate([s.keys for s in streams])
+        for ts, streams in bench_streams.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def bench_all_timestep_keys():
+    """Full keys of every timestep (for the Fig. 1/9/10b studies)."""
+    return [timestep_keys(BENCH_SPEC, i) for i in range(BENCH_SPEC.ntimesteps)]
+
+
+@pytest.fixture(scope="session")
+def bench_carp(tmp_path_factory, bench_streams):
+    """CARP-partitioned output of the early and late timesteps."""
+    out = tmp_path_factory.mktemp("bench_carp")
+    stats = {}
+    with CarpRun(BENCH_SPEC.nranks, out, BENCH_OPTIONS) as run:
+        for epoch, streams in bench_streams.items():
+            stats[epoch] = run.ingest_epoch(epoch, streams)
+    return {"dir": out, "stats": stats}
+
+
+@pytest.fixture(scope="session")
+def bench_sorted(tmp_path_factory, bench_carp):
+    """Fully sorted (TritonSort-equivalent) layouts per epoch."""
+    out = tmp_path_factory.mktemp("bench_sorted")
+    return {
+        epoch: compact_epoch(bench_carp["dir"], out, epoch, sst_records=1024)
+        for epoch in (EARLY_TS, LATE_TS)
+    }

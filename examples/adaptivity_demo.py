@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Why adaptivity matters: static partitioning vs CARP on drifting data.
+
+Reproduces the paper's §III/§VII-B argument interactively:
+
+1. show how the VPIC energy distribution drifts across the simulation
+   (band occupancy per timestep),
+2. score a static partition table (computed from the first timestep)
+   against every later timestep — watch the load balance collapse,
+3. ingest the same timesteps through CARP, which renegotiates its way
+   to balanced partitions every epoch.
+
+Run:  python examples/adaptivity_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import CarpOptions, CarpRun
+from repro.baselines.static_partition import (
+    evaluate_fit,
+    oracle_partition_table,
+)
+from repro.traces.stats import band_fractions
+from repro.traces.vpic import VPIC_BANDS, VpicTraceSpec, generate_timestep
+
+SPEC = VpicTraceSpec(nranks=16, particles_per_rank=5000, seed=5, value_size=8)
+
+
+def main() -> None:
+    keys_per_ts = [
+        np.concatenate([b.keys for b in generate_timestep(SPEC, i)])
+        for i in range(SPEC.ntimesteps)
+    ]
+
+    print("1) the key distribution drifts (fraction of records per band):")
+    print(f"{'timestep':>9}  {'[0,1)':>7} {'[1,16)':>7} {'[16,64)':>8} {'[64,+)':>7}")
+    for ts, keys in zip(SPEC.timesteps, keys_per_ts):
+        f = band_fractions(keys, VPIC_BANDS)
+        print(f"{ts:>9}  {f[0]:>6.1%} {f[1]:>7.1%} {f[2]:>8.1%} {f[3]:>7.1%}")
+
+    print("\n2) a static partition table (from the first timestep) vs CARP:")
+    static_table = oracle_partition_table(keys_per_ts[0], SPEC.nranks)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "carp"
+        options = CarpOptions(value_size=8, pivot_count=256)
+        print(f"{'timestep':>9}  {'static load std-dev':>20}  {'CARP load std-dev':>18}")
+        with CarpRun(SPEC.nranks, out, options) as run:
+            for i, ts in enumerate(SPEC.timesteps):
+                static_fit = evaluate_fit(static_table, keys_per_ts[i])
+                stats = run.ingest_epoch(i, generate_timestep(SPEC, i))
+                print(f"{ts:>9}  {static_fit:>19.1%}  {stats.load_stddev:>17.1%}")
+
+    print("\nStatic partitioning devolves as the tail grows (paper Fig. 9 /")
+    print("Observation 4); CARP's per-epoch renegotiation keeps partitions")
+    print("balanced without touching previously written data.")
+
+
+if __name__ == "__main__":
+    main()

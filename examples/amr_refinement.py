@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""AMR refinement hints: application-driven renegotiation (paper §V-B).
+
+"Some applications such as AMR codes are aware of when they refine and
+can signal CARP for more precise control over renegotiation."
+
+This demo ingests a Sedov-blast AMR epoch whose distribution jumps at a
+known refinement point and compares three renegotiation policies:
+
+* periodic 2x/epoch — too coarse to catch the jump,
+* periodic 6x/epoch — catches it by brute rate,
+* hinted — a low periodic rate plus ``request_renegotiation()`` calls
+  placed right after the refinement (a burst: the first resets the
+  stale statistics, the follow-ups rebuild the table from purely
+  post-refinement data).
+
+Expected outcome: the hinted run matches the high-rate policy's balance
+with fewer, precisely placed renegotiations.
+
+Run:  python examples/amr_refinement.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import CarpOptions, CarpRun
+from repro.core.records import RecordBatch
+from repro.traces.amr import AmrTraceSpec, generate_timestep
+
+SPEC = AmrTraceSpec(nranks=16, cells_per_rank=5000, seed=2, value_size=8)
+
+#: hint offsets (in rounds) after the refinement point
+HINT_SCHEDULE = (1, 2, 4)
+
+
+def refined_epoch():
+    """One epoch: pre-refinement mesh, then post-refinement mesh."""
+    before = generate_timestep(SPEC, 0)   # cold mesh + tight blast
+    after = generate_timestep(SPEC, 5)    # dissipated medium band
+    streams = [RecordBatch.concat([a, b]) for a, b in zip(before, after)]
+    refinement_record = len(before[0])    # per-rank position of the jump
+    return streams, refinement_record
+
+
+def arm_hints(run: CarpRun, refinement_at: int, round_records: int) -> None:
+    """Install the application's refinement callback.
+
+    In a real integration the AMR code calls
+    ``run.request_renegotiation()`` itself; here a delivery hook stands
+    in for it, firing at fixed offsets after the refinement round.
+    """
+    jump_round = refinement_at // round_records
+    hint_rounds = {jump_round + d for d in HINT_SCHEDULE}
+    fired: set[int] = set()
+    orig_deliver = run._deliver
+
+    def deliver_hook(msgs):
+        due = {r for r in hint_rounds - fired if run._round_idx >= r}
+        if due:
+            run.request_renegotiation()
+            fired.update(due)
+        orig_deliver(msgs)
+
+    run._deliver = deliver_hook
+
+
+def main() -> None:
+    streams, refinement_at = refined_epoch()
+    total = sum(len(s) for s in streams)
+    print(f"epoch: {total:,} cells; mesh refines after record "
+          f"{refinement_at} on each rank\n")
+    print(f"{'policy':>16} {'renegotiations':>15} {'load std-dev':>13} "
+          f"{'max boundary shift':>19}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        for mode, renegs, hinted in [
+            ("periodic 2x", 2, False),
+            ("periodic 6x", 6, False),
+            ("hinted", 1, True),
+        ]:
+            options = CarpOptions(
+                value_size=8, pivot_count=256,
+                renegotiations_per_epoch=renegs, round_records=512,
+            )
+            out = Path(tmp) / mode.replace(" ", "_")
+            with CarpRun(SPEC.nranks, out, options) as run:
+                if hinted:
+                    arm_hints(run, refinement_at, options.round_records)
+                stats = run.ingest_epoch(0, streams)
+                drift = stats.boundary_drift()
+                print(f"{mode:>16} {stats.renegotiations:>15} "
+                      f"{stats.load_stddev:>12.1%} "
+                      f"{(drift.max() if len(drift) else 0):>18.1%}")
+
+    print("\nThe hinted run reaches the high-rate policy's balance with "
+          "fewer,\nprecisely placed renegotiations (paper §V-B).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Multi-attribute indexing (paper §VIII): clustered primary + sorted
+auxiliary indexes via two-stage shuffling.
+
+Particles carry two attributes: ``energy`` (the clustered primary key)
+and ``vx`` (an x-velocity, indexed as a sorted auxiliary attribute).
+Stage 1 shuffles full rows by energy; stage 2 shuffles (vx, row-pointer)
+tuples into a separate per-attribute store.  Queries on vx find matching
+pointers with sorted-index efficiency, then pay random reads into the
+primary partitions to fetch the full rows.
+
+Run:  python examples/multi_attribute_index.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import CarpOptions, PartitionedStore
+from repro.extensions.multi_attribute import (
+    PRIMARY_SUBDIR,
+    AuxiliaryIndexReader,
+    MultiAttributeIngest,
+)
+from repro.traces.vpic import VpicTraceSpec, generate_timestep
+
+SPEC = VpicTraceSpec(nranks=8, particles_per_rank=5000, seed=17, value_size=8)
+
+
+def main() -> None:
+    streams = generate_timestep(SPEC, 7)
+    rng = np.random.default_rng(0)
+    vx = [rng.normal(0.0, 1.0, len(s)).astype(np.float32) for s in streams]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "multi"
+        options = CarpOptions(value_size=8, pivot_count=128)
+        with MultiAttributeIngest(SPEC.nranks, out, ("vx",), options) as mi:
+            result = mi.ingest_epoch(0, streams, {"vx": vx})
+        print(f"stage 1 (energy): {result.primary.records:,} rows, "
+              f"load std-dev {result.primary.load_stddev:.1%}")
+        print(f"stage 2 (vx):     {result.auxiliary['vx'].records:,} pointer "
+              f"tuples, load std-dev {result.auxiliary['vx'].load_stddev:.1%}")
+
+        with AuxiliaryIndexReader(out) as reader:
+            # "fast particles" by velocity — an auxiliary-attribute query
+            aux = reader.query("vx", 0, 2.0, 10.0)
+            print(f"\nvx in [2, 10]: {len(aux):,} particles")
+            print(f"  index lookup {aux.index_latency * 1e3:.2f} ms + "
+                  f"row retrieval {aux.retrieval_latency * 1e3:.2f} ms "
+                  f"(random reads into primary partitions)")
+            print(f"  energies of matched rows: median "
+                  f"{np.median(aux.primary_keys):.3g}, "
+                  f"max {aux.primary_keys.max():.3g}")
+
+            # contrast with a primary-attribute query of similar size
+            with PartitionedStore(out / PRIMARY_SUBDIR) as primary:
+                all_keys = np.concatenate([s.keys for s in streams])
+                lo, hi = np.quantile(all_keys, [0.95, 0.977])
+                prim = primary.query(0, float(lo), float(hi))
+            print(f"\nenergy in [{lo:.3g}, {hi:.3g}]: {len(prim):,} particles, "
+                  f"latency {prim.cost.latency * 1e3:.2f} ms "
+                  f"(clustered — large sequential reads)")
+            per_aux = aux.latency / max(len(aux), 1) * 1e6
+            per_prim = prim.cost.latency / max(len(prim), 1) * 1e6
+            print(f"\nper-row cost: auxiliary {per_aux:.1f} us vs primary "
+                  f"{per_prim:.1f} us — the auxiliary index trades retrieval "
+                  f"speed for not re-shuffling full rows (paper §VIII)")
+
+
+if __name__ == "__main__":
+    main()

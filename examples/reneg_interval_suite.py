@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Renegotiation-interval suite: the artifact's
+``run_carp_demo_intvl_suite.sh`` in Python.
+
+Replays the same (drifting) epoch through CARP at several renegotiation
+frequencies and reports partition balance, renegotiation counts, and the
+simulated runtime at paper scale — demonstrating §VII-C4's takeaway:
+frequency buys load balance (up to a point) and costs no runtime.
+
+Run:  python examples/reneg_interval_suite.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import CarpOptions, CarpRun
+from repro.core.records import RecordBatch
+from repro.sim.cluster import GB
+from repro.sim.runner import time_epoch
+from repro.traces.vpic import VpicTraceSpec, generate_timestep
+
+SPEC = VpicTraceSpec(nranks=16, particles_per_rank=6000, seed=23, value_size=8)
+FREQUENCIES = (1, 2, 6, 13, 26)
+
+
+def drifting_epoch():
+    a = generate_timestep(SPEC, 3)
+    b = generate_timestep(SPEC, 10)
+    return [RecordBatch.concat([x, y]) for x, y in zip(a, b)]
+
+
+def main() -> None:
+    streams = drifting_epoch()
+    total = sum(len(s) for s in streams)
+    print(f"epoch: {total:,} records with mid-epoch distribution drift\n")
+    print(f"{'renegs/epoch':>13} {'actual':>7} {'load std-dev':>13} "
+          f"{'strays':>7} {'sim runtime':>12}")
+    with tempfile.TemporaryDirectory() as tmp:
+        for freq in FREQUENCIES:
+            options = CarpOptions(
+                value_size=8, pivot_count=256,
+                renegotiations_per_epoch=freq, round_records=256,
+            )
+            out = Path(tmp) / f"freq{freq}"
+            with CarpRun(SPEC.nranks, out, options) as run:
+                stats = run.ingest_epoch(0, streams)
+            timing = time_epoch(stats, nranks=512, scale_to_bytes=188 * GB)
+            print(f"{freq:>13} {stats.renegotiations:>7} "
+                  f"{stats.load_stddev:>12.1%} "
+                  f"{stats.stray_fraction:>6.1%} "
+                  f"{timing.runtime:>11.1f}s")
+
+    print("\nMore frequent renegotiation absorbs intra-epoch drift (better")
+    print("balance) while the simulated runtime stays flat — renegotiation")
+    print("pauses hide behind receiver buffering (paper §VI, §VII-C4).")
+
+
+if __name__ == "__main__":
+    main()

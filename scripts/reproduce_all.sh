@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Reproduce everything: install, test, regenerate every paper table and
+# figure, and run all examples.  See EXPERIMENTS.md for the expected
+# shapes and results/ for the emitted tables.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pip install -e .
+
+echo "== unit / property / integration tests =="
+pytest tests/ 2>&1 | tee test_output.txt
+
+echo "== benchmark harness (all paper tables & figures) =="
+pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+echo "== examples =="
+for ex in examples/*.py; do
+    echo "--- $ex"
+    python "$ex"
+done
+
+echo "== emitted figure tables =="
+ls -l results/

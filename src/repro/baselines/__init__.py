@@ -1,0 +1,21 @@
+"""Baselines: DeltaFS, TritonSort, FastQuery, full scan, static partitioning."""
+
+from repro.baselines import deltafs, fastquery, fullscan, lsm, static_partition, tritonsort
+from repro.baselines.deltafs import DeltaFSRun
+from repro.baselines.fastquery import BitmapIndex
+from repro.baselines.lsm import LSMTree
+from repro.baselines.fullscan import full_scan_query, write_unpartitioned
+from repro.baselines.static_partition import (
+    exact_partition_table,
+    oracle_partition_table,
+    pivot_lossiness_study,
+    static_partitioning_study,
+)
+
+__all__ = [
+    "deltafs", "fastquery", "fullscan", "lsm", "static_partition", "tritonsort",
+    "LSMTree",
+    "DeltaFSRun", "BitmapIndex", "full_scan_query", "write_unpartitioned",
+    "exact_partition_table", "oracle_partition_table",
+    "pivot_lossiness_study", "static_partitioning_study",
+]

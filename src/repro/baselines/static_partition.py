@@ -1,0 +1,131 @@
+"""Static / oracle partitioning study helpers (paper Fig. 9, Fig. 10b).
+
+Fig. 9 asks: how often must partition tables be recomputed?  It builds
+*oracle partitions* — tables computed from perfect knowledge of some
+timestep's full key distribution — and measures how balanced they keep
+the load when applied to other timesteps:
+
+* ``from first``  — a static scheme: partitions from timestep 0, never
+  updated (worst as the distribution drifts),
+* ``from previous`` — partitions recomputed once per timestep from the
+  previous one (poor exactly when drift is fastest),
+* ``from current`` — partitions from the timestep itself (a lower
+  bound; the residual imbalance is the histogram/pivot lossiness).
+
+Fig. 10b uses the same oracle machinery to isolate pivot-count
+lossiness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.histogram import oracle_histogram
+from repro.core.partition import PartitionTable, load_stddev
+from repro.core.pivots import (
+    partition_bounds_from_pivots,
+    pivots_from_histogram,
+)
+
+
+def oracle_partition_table(
+    keys: np.ndarray,
+    nparts: int,
+    pivot_count: int = 512,
+    hist_bins: int | None = None,
+) -> PartitionTable:
+    """Partition table from perfect knowledge of a timestep's keys.
+
+    The paper's oracle studies compute pivots "from a full key
+    distribution of each timestep", so by default the pivots are drawn
+    from the exact empirical CDF and the only lossiness left is the
+    pivot count itself — the quantity Fig. 10b isolates.  Pass
+    ``hist_bins`` to additionally interpose a uniform-bin histogram and
+    study histogram coarseness (uniform bins are a *bad* fit for
+    heavy-tailed keys, which is why CARP bins by partition boundaries
+    instead).
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    if len(keys) == 0:
+        raise ValueError("no keys to partition")
+    if hist_bins is None:
+        pivots = pivots_from_histogram(None, None, pivot_count, oob_keys=keys)
+    else:
+        edges, counts = oracle_histogram(keys, hist_bins)
+        pivots = pivots_from_histogram(edges, counts, pivot_count)
+    assert pivots is not None
+    bounds = partition_bounds_from_pivots(pivots, nparts)
+    return PartitionTable.from_quantile_points(bounds)
+
+
+def exact_partition_table(keys: np.ndarray, nparts: int) -> PartitionTable:
+    """Lossless equal-mass table straight from exact key quantiles.
+
+    The zero-lossiness reference against which pivot/histogram schemes
+    are compared.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    if len(keys) == 0:
+        raise ValueError("no keys to partition")
+    bounds = np.quantile(keys, np.linspace(0.0, 1.0, nparts + 1))
+    return PartitionTable.from_quantile_points(bounds)
+
+
+def evaluate_fit(table: PartitionTable, keys: np.ndarray) -> float:
+    """Normalized load std-dev of ``keys`` routed through ``table``.
+
+    Keys outside the table's bounds are clamped to the boundary
+    partitions (a static scheme has nowhere else to put them — the
+    very failure mode Fig. 9 demonstrates).
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    clamped = np.clip(keys, table.lo, table.hi)
+    counts = table.load_counts(clamped)
+    return load_stddev(counts)
+
+
+def static_partitioning_study(
+    timestep_keys: list[np.ndarray],
+    nparts: int,
+    pivot_count: int = 512,
+) -> dict[str, list[float]]:
+    """The three Fig. 9 series over a list of timesteps' key sets.
+
+    Returns per-timestep normalized load std-dev for tables built
+    ``from_first``, ``from_previous`` and ``from_current`` timesteps.
+    The first timestep has no "previous"; its from-previous value uses
+    its own table (the bootstrap case).
+    """
+    if not timestep_keys:
+        raise ValueError("need at least one timestep")
+    tables = [
+        oracle_partition_table(keys, nparts, pivot_count) for keys in timestep_keys
+    ]
+    out: dict[str, list[float]] = {"from_first": [], "from_previous": [],
+                                   "from_current": []}
+    for i, keys in enumerate(timestep_keys):
+        out["from_first"].append(evaluate_fit(tables[0], keys))
+        out["from_previous"].append(evaluate_fit(tables[max(i - 1, 0)], keys))
+        out["from_current"].append(evaluate_fit(tables[i], keys))
+    return out
+
+
+def pivot_lossiness_study(
+    timestep_keys: list[np.ndarray],
+    nparts: int,
+    pivot_counts: tuple[int, ...] = (16, 32, 64, 128, 256, 512, 1024, 2048),
+) -> dict[int, list[float]]:
+    """Fig. 10b: per-pivot-count load std-dev of oracle tables.
+
+    For each pivot count, computes oracle pivots from each timestep's
+    full distribution and measures how well the derived table fits that
+    same timestep (lossless would be ~0 std-dev).
+    """
+    out: dict[int, list[float]] = {}
+    for k in pivot_counts:
+        fits = []
+        for keys in timestep_keys:
+            table = oracle_partition_table(keys, nparts, pivot_count=k)
+            fits.append(evaluate_fit(table, keys))
+        out[k] = fits
+    return out

@@ -1,0 +1,72 @@
+"""TritonSort baseline: bulk external sorting into a clustered index.
+
+TritonSort (Rasmussen et al., NSDI'11) is the paper's stand-in for "a
+fully sorted, clustered layout built by post-processing".  Two aspects
+are reproduced:
+
+* **query side** — the sorted layout itself, produced for real by
+  :mod:`repro.storage.compactor` (identical to what any bulk sort
+  produces, as the paper notes: "all sorts generate identical
+  outputs"), queried through the common engine;
+
+* **write side** — the effective-throughput model: an out-of-core sort
+  makes four I/O passes over the data (read+write partition pass,
+  read+write merge pass) after the application already wrote it once,
+  yielding the ~4.9x slowdown of Fig. 7b.  TritonSort runs directly on
+  the storage nodes and so sees slightly better raw bandwidth than
+  Lustre clients (paper §VII, "Experimental setup").
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.sim.cluster import ClusterSpec, PAPER_CLUSTER
+from repro.storage.compactor import compact_epoch
+
+#: I/O passes of the out-of-core sort (2 reads + 2 writes).
+SORT_READ_PASSES = 2
+SORT_WRITE_PASSES = 2
+
+#: Raw-bandwidth advantage of running directly on the storage nodes,
+#: bypassing Lustre client coordination.
+DIRECT_ACCESS_FACTOR = 1.05
+
+
+def build_sorted_layout(
+    carp_dir: Path | str, out_dir: Path | str, epoch: int, sst_records: int = 4096
+) -> Path:
+    """Materialize the sorted clustered index for one epoch.
+
+    Delegates to the compactor — the artifact does the same (A4): the
+    sorted layout is an intermediate artifact, not a performance proxy
+    for the distributed sort itself.
+    """
+    return compact_epoch(carp_dir, out_dir, epoch, sst_records=sst_records)
+
+
+def ingestion_throughput(
+    data_bytes: float,
+    nranks: int,
+    cluster: ClusterSpec | None = None,
+) -> float:
+    """Effective write-path throughput of sort-based indexing (Fig. 7b).
+
+    ``data / (application write time + 4-pass sort time)``.
+    """
+    if data_bytes <= 0:
+        raise ValueError("data_bytes must be positive")
+    cluster = cluster or PAPER_CLUSTER
+    storage = cluster.storage_bound(nranks)
+    sort_bw = storage * DIRECT_ACCESS_FACTOR
+    app_time = data_bytes / storage
+    sort_time = (SORT_READ_PASSES + SORT_WRITE_PASSES) * data_bytes / sort_bw
+    return data_bytes / (app_time + sort_time)
+
+
+def slowdown_vs_raw(nranks: int, cluster: ClusterSpec | None = None) -> float:
+    """How much slower sort-based indexing is than raw I/O (paper: 4.9x)."""
+    cluster = cluster or PAPER_CLUSTER
+    data = 1.0  # ratio is volume-independent
+    raw = cluster.storage_bound(nranks)
+    return raw / ingestion_throughput(data, nranks, cluster)

@@ -1,0 +1,7 @@
+"""Benchmark harness helpers: table rendering and result persistence."""
+
+from repro.bench.results import emit, results_dir
+from repro.bench.tables import banner, fmt_bytes, fmt_pct, fmt_seconds, fmt_si, render_table
+
+__all__ = ["emit", "results_dir", "banner", "fmt_bytes", "fmt_pct",
+           "fmt_seconds", "fmt_si", "render_table"]

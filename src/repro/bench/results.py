@@ -1,0 +1,32 @@
+"""Benchmark result persistence.
+
+Pytest captures stdout, so each benchmark ALSO writes its rendered
+table into ``results/<figure>.txt`` at the repository root (or the
+directory named by ``REPRO_RESULTS_DIR``).  EXPERIMENTS.md references
+these files as the measured side of every paper-vs-measured row.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def results_dir() -> Path:
+    """The directory benchmark tables are written into."""
+    env = os.environ.get("REPRO_RESULTS_DIR")
+    if env:
+        path = Path(env)
+    else:
+        # repository root = three levels above this file's package dir
+        path = Path(__file__).resolve().parents[3] / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def emit(figure: str, text: str) -> Path:
+    """Print a result table and persist it to the results directory."""
+    print(text)
+    path = results_dir() / f"{figure}.txt"
+    path.write_text(text + "\n")
+    return path

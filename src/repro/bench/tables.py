@@ -1,0 +1,66 @@
+"""Table/series formatting shared by the benchmark harness.
+
+Every benchmark prints the rows/series of the paper figure it
+regenerates.  These helpers keep the output uniform: fixed-width
+aligned columns, engineering-unit formatting, and a banner naming the
+figure being reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def fmt_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Engineering-notation formatting (1.23 G, 45.6 m, ...)."""
+    if value == 0:
+        return f"0 {unit}".rstrip()
+    prefixes = [
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K"),
+        (1.0, ""), (1e-3, "m"), (1e-6, "u"), (1e-9, "n"),
+    ]
+    mag = abs(value)
+    for scale, prefix in prefixes:
+        if mag >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+    return f"{value:.{digits}g} {unit}".rstrip()
+
+
+def fmt_bytes(value: float) -> str:
+    return fmt_si(value, "B")
+
+
+def fmt_seconds(value: float) -> str:
+    return fmt_si(value, "s")
+
+
+def fmt_pct(value: float, digits: int = 2) -> str:
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def banner(figure: str, description: str) -> str:
+    """Header naming the paper element a benchmark reproduces."""
+    line = f"[{figure}] {description}"
+    return f"\n{'#' * len(line)}\n{line}\n{'#' * len(line)}"

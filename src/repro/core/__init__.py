@@ -1,0 +1,39 @@
+"""CARP core: partition tables, summary statistics, renegotiation, driver."""
+
+from repro.core.carp import CarpRun, EpochStats
+from repro.core.config import CarpOptions
+from repro.core.histogram import RankHistogram, oracle_histogram
+from repro.core.oob import OOBBuffer
+from repro.core.partition import OOB_DEST, PartitionTable, load_stddev
+from repro.core.pivots import (
+    Pivots,
+    WeightedCDF,
+    partition_bounds_from_pivots,
+    pivot_union,
+    pivots_from_cdf,
+    pivots_from_histogram,
+)
+from repro.core.rank import CarpRankState
+from repro.core.records import RecordBatch, make_rids, rid_rank, rid_seq
+from repro.core.renegotiation import (
+    RenegStats,
+    negotiate,
+    negotiate_naive,
+    negotiate_trp,
+    synthetic_reneg_stats,
+    trp_tree_levels,
+)
+from repro.core.sampling import BiasedReservoirSampler, ReservoirSampler
+from repro.core.triggers import PeriodicTrigger, TriggerLog, TriggerReason
+
+__all__ = [
+    "CarpRun", "EpochStats", "CarpOptions", "RankHistogram",
+    "oracle_histogram", "OOBBuffer", "OOB_DEST", "PartitionTable",
+    "load_stddev", "Pivots", "WeightedCDF", "partition_bounds_from_pivots",
+    "pivot_union", "pivots_from_cdf", "pivots_from_histogram",
+    "CarpRankState", "RecordBatch", "make_rids", "rid_rank", "rid_seq",
+    "RenegStats", "negotiate", "negotiate_naive", "negotiate_trp",
+    "synthetic_reneg_stats", "trp_tree_levels", "ReservoirSampler",
+    "BiasedReservoirSampler",
+    "PeriodicTrigger", "TriggerLog", "TriggerReason",
+]

@@ -1,0 +1,432 @@
+"""The CARP run driver: epoch orchestration over all ranks.
+
+:class:`CarpRun` wires the pieces together exactly as the paper's data
+and control flow describes (Figs. 3-4): application records are
+ingested in rounds; each rank routes its records through the partition
+table into a delivery-delayed shuffle fabric; out-of-bounds records are
+buffered; OOB-full and periodic triggers start renegotiations; and the
+shuffle receivers hand delivered records to per-rank KoiDB instances
+that log them as SSTables.
+
+The driver is a *logical* simulator — it executes the real CARP
+algorithms on real data and writes real bytes to disk, while time/cost
+modelling is layered on separately (:mod:`repro.sim`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import CarpOptions
+from repro.core.partition import PartitionTable, load_stddev
+from repro.core.rank import CarpRankState
+from repro.core.records import RecordBatch
+from repro.core.renegotiation import RenegStats, negotiate
+from repro.core.triggers import PeriodicTrigger, TriggerLog, TriggerReason
+from repro.shuffle.flow import DelayQueue, ShuffleMessage
+from repro.shuffle.router import range_route, split_by_destination
+from repro.storage.koidb import KoiDB
+
+_MAX_ROUTE_RETRIES = 64
+
+
+@dataclass
+class EpochStats:
+    """What happened during one ingested epoch."""
+
+    epoch: int
+    records: int = 0
+    rounds: int = 0
+    stray_records: int = 0
+    partition_loads: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    triggers: TriggerLog = field(default_factory=TriggerLog)
+    reneg_stats: list[RenegStats] = field(default_factory=list)
+    #: partition tables adopted during the epoch, in adoption order —
+    #: the boundary evolution of the paper's Fig. 2 logical view
+    table_history: list[PartitionTable] = field(default_factory=list)
+    final_table: PartitionTable | None = None
+
+    @property
+    def renegotiations(self) -> int:
+        return self.triggers.count()
+
+    @property
+    def load_stddev(self) -> float:
+        """Normalized partition-load standard deviation (paper metric)."""
+        return load_stddev(self.partition_loads)
+
+    @property
+    def stray_fraction(self) -> float:
+        return self.stray_records / self.records if self.records else 0.0
+
+    def boundary_drift(self) -> np.ndarray:
+        """Mean absolute boundary movement between consecutive tables.
+
+        Normalized by each table's key-range width; quantifies how much
+        the partition boundaries shifted at each renegotiation (the
+        Fig. 2 "partition boundaries shift with key distribution
+        changes" behaviour).
+        """
+        if len(self.table_history) < 2:
+            return np.zeros(0)
+        out = []
+        for a, b in zip(self.table_history, self.table_history[1:]):
+            width = max(b.hi - b.lo, 1e-12)
+            if a.nparts == b.nparts:
+                delta = np.abs(a.bounds - b.bounds).mean()
+            else:  # compare at common quantile positions
+                qs = np.linspace(0, 1, 33)
+                ai = np.quantile(a.bounds, qs)
+                bi = np.quantile(b.bounds, qs)
+                delta = np.abs(ai - bi).mean()
+            out.append(delta / width)
+        return np.asarray(out)
+
+
+class CarpRun:
+    """Drives N simulated ranks through CARP ingestion epochs.
+
+    By default every rank is also a shuffle receiver (one partition and
+    one output file per rank).  At larger scales the file count can be
+    reduced by making only a subset of ranks receivers (paper §VI):
+    pass ``nreceivers < nranks`` and the keyspace is divided into that
+    many partitions instead.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        out_dir: Path | str,
+        options: CarpOptions | None = None,
+        nreceivers: int | None = None,
+    ) -> None:
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        self.nranks = nranks
+        self.nreceivers = nranks if nreceivers is None else nreceivers
+        if not 1 <= self.nreceivers <= nranks:
+            raise ValueError(
+                f"nreceivers must be in [1, {nranks}], got {self.nreceivers}"
+            )
+        self.options = options or CarpOptions()
+        self.out_dir = Path(out_dir)
+        self.ranks = [CarpRankState(r, self.options) for r in range(nranks)]
+        self.koidbs = [
+            KoiDB(r, self.out_dir, self.options) for r in range(self.nreceivers)
+        ]
+        self.table: PartitionTable | None = None
+        self._version = 0
+        self._flow: DelayQueue | None = None
+        self._epoch_stats: EpochStats | None = None
+        self._round_idx = 0
+        self._external_reneg_requested = False
+        self.epoch_history: list[EpochStats] = []
+
+    # ----------------------------------------------------------- plumbing
+
+    def close(self) -> None:
+        for db in self.koidbs:
+            db.close()
+
+    def __enter__(self) -> "CarpRun":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def request_renegotiation(self) -> None:
+        """Application hint: renegotiate at the next round boundary.
+
+        AMR codes know when they refine and can signal CARP for more
+        precise control than the fixed-interval trigger (paper §V-B).
+        """
+        self._external_reneg_requested = True
+
+    def write_amplification(self, record_size: int | None = None) -> float:
+        """Measured write amplification across all epochs so far.
+
+        Total bytes appended to the KoiDB logs divided by the user data
+        volume.  CARP's design constraint is WAF 1x (paper §III); the
+        small excess over 1.0 is SST/manifest metadata.
+        """
+        user_records = sum(s.records for s in self.epoch_history)
+        if user_records == 0:
+            return 0.0
+        rec = (
+            record_size
+            if record_size is not None
+            else 4 + self.options.value_size
+        )
+        written = sum(db.stats.bytes_written for db in self.koidbs)
+        # include manifest/footer bytes: log offset is the whole file
+        written_total = sum(db.log.offset for db in self.koidbs)
+        return max(written, written_total) / (user_records * rec)
+
+    def write_run_manifest(self, path: Path | str | None = None) -> Path:
+        """Persist a machine-readable summary of the run so far.
+
+        JSON with the configuration and per-epoch statistics — the
+        run-level metadata a workflow needs to catalogue CARP output
+        without re-reading the logs.  Defaults to
+        ``<out_dir>/carp_run.json``.
+        """
+        target = Path(path) if path is not None else self.out_dir / "carp_run.json"
+        doc = {
+            "nranks": self.nranks,
+            "nreceivers": self.nreceivers,
+            "options": dataclasses.asdict(self.options),
+            "write_amplification": self.write_amplification(),
+            "epochs": [
+                {
+                    "epoch": s.epoch,
+                    "records": s.records,
+                    "rounds": s.rounds,
+                    "renegotiations": s.renegotiations,
+                    "triggers": [
+                        {"round": r, "reason": reason.value}
+                        for r, reason in s.triggers.events
+                    ],
+                    "stray_records": s.stray_records,
+                    "stray_fraction": s.stray_fraction,
+                    "load_stddev": s.load_stddev,
+                    "partition_loads": s.partition_loads.tolist(),
+                    "final_bounds": (
+                        s.final_table.bounds.tolist()
+                        if s.final_table is not None else None
+                    ),
+                }
+                for s in self.epoch_history
+            ],
+        }
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(doc, indent=2))
+        return target
+
+    # -------------------------------------------------------------- epoch
+
+    def ingest_epoch(self, epoch: int, streams: list[RecordBatch]) -> EpochStats:
+        """Ingest one checkpoint epoch.
+
+        ``streams[r]`` is the record stream produced by application rank
+        ``r``.  Partitions are bootstrapped from scratch (paper §V-B:
+        "for new epochs CARP bootstraps partitions from scratch").
+        Returns the epoch's statistics; the partitioned data is on disk
+        when this returns.
+        """
+        if len(streams) != self.nranks:
+            raise ValueError(f"need {self.nranks} streams, got {len(streams)}")
+        bad = {s.value_size for s in streams if s.value_size != self.options.value_size}
+        if bad:
+            raise ValueError(
+                f"stream value_size {sorted(bad)} does not match "
+                f"CarpOptions.value_size={self.options.value_size}"
+            )
+        total_records = sum(len(s) for s in streams)
+        if total_records == 0:
+            raise ValueError("cannot ingest an empty epoch")
+
+        if self.options.warm_start and self.table is not None:
+            # reuse the previous epoch's final table: ranks rebin their
+            # histograms to it, receivers re-adopt their owned ranges
+            table = self.table
+            for rank in self.ranks:
+                rank.reset_for_epoch()
+                rank.adopt_table(table)
+            for db in self.koidbs:
+                db.begin_epoch(epoch)
+            for part in range(self.nreceivers):
+                lo_, hi_ = table.owns(part)
+                self.koidbs[part].set_owned_range(
+                    lo_, hi_, inclusive_hi=(part == self.nreceivers - 1)
+                )
+        else:
+            self.table = None
+            for rank in self.ranks:
+                rank.reset_for_epoch()
+            for db in self.koidbs:
+                db.begin_epoch(epoch)
+        records_before = [db.stats.records_in for db in self.koidbs]
+        strays_before = sum(db.stats.stray_records for db in self.koidbs)
+
+        self._flow = DelayQueue(self.options.shuffle_delay_rounds)
+        periodic = PeriodicTrigger.per_epoch(
+            total_records, self.options.renegotiations_per_epoch
+        )
+        stats = EpochStats(epoch=epoch)
+        self._epoch_stats = stats
+        self._round_idx = 0
+
+        chunk = self.options.round_records
+        n_rounds = max(-(-len(s) // chunk) for s in streams)
+        for round_idx in range(n_rounds):
+            self._round_idx = round_idx
+            pending: dict[int, RecordBatch] = {}
+            round_records = 0
+            for r, stream in enumerate(streams):
+                lo = round_idx * chunk
+                if lo >= len(stream):
+                    continue
+                piece = stream.select(np.arange(lo, min(lo + chunk, len(stream))))
+                round_records += len(piece)
+                pending[r] = piece
+            # route until the round's data is all shuffled or buffered;
+            # leftovers only arise during epoch bootstrap, when a full
+            # OOB buffer must wait for a renegotiation that (per the
+            # paper) folds in *every* rank's buffered keys
+            for _attempt in range(_MAX_ROUTE_RETRIES):
+                pending = {
+                    r: left
+                    for r, piece in pending.items()
+                    if len(left := self._route(r, piece))
+                }
+                if not pending:
+                    break
+                self._renegotiate(TriggerReason.BOOTSTRAP)
+            else:
+                raise RuntimeError("bootstrap routing did not converge")
+            stats.records += round_records
+            self._deliver(self._flow.tick())
+            if self.table is not None and self._external_reneg_requested:
+                self._renegotiate(TriggerReason.EXTERNAL)
+                self._external_reneg_requested = False
+                periodic.reset()
+            elif self.table is not None and periodic.advance(round_records):
+                self._renegotiate(TriggerReason.PERIODIC)
+                periodic.reset()
+        stats.rounds = n_rounds
+
+        # epoch end: any residual OOB data must reach disk, so force a
+        # final renegotiation if buffers are non-empty (or the epoch was
+        # small enough that no table was ever negotiated)
+        for _attempt in range(_MAX_ROUTE_RETRIES):
+            if self.table is not None and all(
+                len(rank.oob) == 0 for rank in self.ranks
+            ):
+                break
+            self._renegotiate(TriggerReason.EPOCH_FLUSH)
+        else:
+            raise RuntimeError("epoch flush did not converge")
+
+        # flush the fabric and all storage buffers
+        self._deliver(self._flow.drain())
+        for db in self.koidbs:
+            db.finish_epoch()
+
+        stats.partition_loads = np.array(
+            [db.stats.records_in - before for db, before in zip(self.koidbs, records_before)],
+            dtype=np.int64,
+        )
+        stats.stray_records = (
+            sum(db.stats.stray_records for db in self.koidbs) - strays_before
+        )
+        stats.final_table = self.table
+        self.epoch_history.append(stats)
+        self._epoch_stats = None
+        self._flow = None
+        return stats
+
+    # ------------------------------------------------------------ routing
+
+    def _route(self, r: int, batch: RecordBatch) -> RecordBatch:
+        """Route one rank's chunk (paper Fig. 4 control flow).
+
+        In-bounds records are dispatched into the shuffle; out-of-bounds
+        records are buffered.  If the buffer fills mid-epoch, this rank
+        triggers an immediate renegotiation and retries.  During epoch
+        bootstrap (no table yet) renegotiation is *not* triggered here —
+        the leftover batch is returned so the run driver can wait for
+        all ranks to contribute their buffered keys first.
+        """
+        assert self._flow is not None
+        rank = self.ranks[r]
+        pending = batch
+        for _attempt in range(_MAX_ROUTE_RETRIES):
+            if len(pending) == 0:
+                return pending
+            if self.table is None:
+                return rank.oob.add(pending)
+            dests = range_route(pending, self.table)
+            per_dest, oob_batch = split_by_destination(pending, dests)
+            in_bounds = len(pending) - len(oob_batch)
+            if in_bounds:
+                sent_keys = np.concatenate([b.keys for b in per_dest.values()])
+                rank.observe_sent(sent_keys)
+                for dest, sub in per_dest.items():
+                    self._send(dest, sub)
+            if len(oob_batch) == 0:
+                return oob_batch
+            overflow = rank.oob.add(oob_batch)
+            if rank.oob.is_full:
+                self._renegotiate(TriggerReason.OOB_FULL)
+            pending = overflow
+        raise RuntimeError("routing did not converge (OOB thrashing)")
+
+    def _send(self, dest: int, batch: RecordBatch) -> None:
+        """Dispatch a batch toward ``dest``.
+
+        A zero-round delay models a synchronous fabric: delivery
+        happens before any later renegotiation can strand the message,
+        so no stray keys can form.
+        """
+        assert self._flow is not None and self.table is not None
+        if self.options.shuffle_delay_rounds == 0:
+            self.koidbs[dest].ingest(batch)
+        else:
+            self._flow.send(dest, batch, self.table.version)
+
+    # ------------------------------------------------------ renegotiation
+
+    def _renegotiate(self, reason: TriggerReason) -> None:
+        """Run a renegotiation round (paper §V-C steps 1-5)."""
+        assert self._flow is not None and self._epoch_stats is not None
+        pivot_sets = [rank.compute_pivots() for rank in self.ranks]
+        if all(p is None for p in pivot_sets):
+            return  # nothing observed anywhere; keep waiting
+        bounds, reneg = negotiate(
+            pivot_sets,
+            self.nreceivers,
+            self.options.pivot_count,
+            protocol=self.options.reneg_protocol,
+            fanout=self.options.trp_fanout,
+        )
+        self._version += 1
+        self.table = PartitionTable.from_quantile_points(bounds, version=self._version)
+        for rank in self.ranks:
+            rank.adopt_table(self.table)
+        for part in range(self.nreceivers):
+            lo, hi = self.table.owns(part)
+            self.koidbs[part].set_owned_range(
+                lo, hi, inclusive_hi=(part == self.nreceivers - 1)
+            )
+        # flush OOB buffers under the new table (step 4)
+        for rank in self.ranks:
+            buffered = rank.oob.drain()
+            if len(buffered) == 0:
+                continue
+            dests = range_route(buffered, self.table)
+            per_dest, leftover = split_by_destination(buffered, dests)
+            if len(leftover):
+                # bounds were computed over these very keys, so nothing
+                # should be left; tolerate float rounding by re-buffering
+                rank.oob.add(leftover)
+            rank.observe_sent(
+                np.concatenate([b.keys for b in per_dest.values()])
+                if per_dest
+                else np.empty(0, np.float32)
+            )
+            for dest, sub in per_dest.items():
+                self._send(dest, sub)
+        self._epoch_stats.triggers.record(self._round_idx, reason)
+        self._epoch_stats.reneg_stats.append(reneg)
+        self._epoch_stats.table_history.append(self.table)
+
+    # ----------------------------------------------------------- delivery
+
+    def _deliver(self, messages: list[ShuffleMessage]) -> None:
+        for msg in messages:
+            self.koidbs[msg.dest].ingest(msg.batch)

@@ -1,0 +1,161 @@
+"""Range partition tables.
+
+A :class:`PartitionTable` maps the keyspace onto application ranks: it
+is a strictly increasing array of ``nparts + 1`` boundary values where
+partition ``i`` owns keys in ``[bounds[i], bounds[i+1])`` (the final
+partition additionally owns its upper bound, so the table covers a
+closed interval with no gaps).  Keys outside ``[bounds[0], bounds[-1]]``
+are *out of bounds* and must be buffered by the sender until a
+renegotiation extends the table (paper §V-B).
+
+Tables are versioned; the version is carried with shuffled data so the
+storage backend can detect records routed under a stale table ("stray
+keys", paper §V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Destination value returned by :meth:`PartitionTable.lookup` for
+#: out-of-bounds keys.
+OOB_DEST = -1
+
+
+def _ensure_strictly_increasing(bounds: np.ndarray) -> np.ndarray:
+    """Nudge duplicate boundary values apart by the smallest possible step.
+
+    Degenerate distributions (e.g. many identical keys) can produce
+    repeated quantiles; a valid partition table needs strictly
+    increasing bounds, so duplicates are separated with
+    ``np.nextafter`` which preserves ordering while changing ownership
+    of at most a measure-zero slice of the keyspace.
+    """
+    out = bounds.astype(np.float64, copy=True)
+    for i in range(1, len(out)):
+        if out[i] <= out[i - 1]:
+            out[i] = np.nextafter(out[i - 1], np.inf)
+    return out
+
+
+@dataclass(frozen=True)
+class PartitionTable:
+    """An immutable, versioned range-partitioning of the keyspace."""
+
+    bounds: np.ndarray
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        bounds = np.asarray(self.bounds, dtype=np.float64)
+        if bounds.ndim != 1 or len(bounds) < 2:
+            raise ValueError("bounds must be a 1-D array of at least 2 values")
+        if not np.all(np.isfinite(bounds)):
+            raise ValueError("bounds must be finite")
+        if not np.all(np.diff(bounds) > 0):
+            raise ValueError("bounds must be strictly increasing")
+        object.__setattr__(self, "bounds", bounds)
+
+    @classmethod
+    def from_quantile_points(cls, points: np.ndarray, version: int = 0) -> "PartitionTable":
+        """Build a table from possibly-degenerate quantile points.
+
+        Unlike the constructor this tolerates repeated values by
+        spreading them apart (see :func:`_ensure_strictly_increasing`).
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if len(points) < 2:
+            raise ValueError("need at least 2 quantile points")
+        return cls(_ensure_strictly_increasing(points), version)
+
+    @property
+    def nparts(self) -> int:
+        return len(self.bounds) - 1
+
+    @property
+    def lo(self) -> float:
+        return float(self.bounds[0])
+
+    @property
+    def hi(self) -> float:
+        return float(self.bounds[-1])
+
+    def lookup(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized destination lookup.
+
+        Returns an int64 array of partition ids; out-of-bounds keys map
+        to :data:`OOB_DEST`.  A key exactly equal to the upper bound is
+        owned by the last partition.
+        """
+        keys = np.asarray(keys, dtype=np.float64)
+        dest = np.searchsorted(self.bounds, keys, side="right") - 1
+        # key == hi lands at index nparts; fold into the last partition.
+        dest = np.where(keys == self.bounds[-1], self.nparts - 1, dest)
+        oob = (keys < self.bounds[0]) | (keys > self.bounds[-1])
+        dest = np.where(oob, OOB_DEST, dest)
+        return dest.astype(np.int64)
+
+    def owns(self, part: int) -> tuple[float, float]:
+        """The half-open key range ``[lo, hi)`` owned by ``part``.
+
+        The final partition's range is closed at the top; callers that
+        need exact semantics should use :meth:`contains`.
+        """
+        if not 0 <= part < self.nparts:
+            raise IndexError(f"partition {part} out of range (nparts={self.nparts})")
+        return float(self.bounds[part]), float(self.bounds[part + 1])
+
+    def contains(self, part: int, keys: np.ndarray) -> np.ndarray:
+        """Boolean mask of ``keys`` owned by partition ``part``."""
+        lo, hi = self.owns(part)
+        keys = np.asarray(keys, dtype=np.float64)
+        if part == self.nparts - 1:
+            return (keys >= lo) & (keys <= hi)
+        return (keys >= lo) & (keys < hi)
+
+    def load_counts(self, keys: np.ndarray) -> np.ndarray:
+        """Histogram of ``keys`` over the partitions (OOB keys ignored)."""
+        dest = self.lookup(keys)
+        dest = dest[dest != OOB_DEST]
+        return np.bincount(dest, minlength=self.nparts).astype(np.int64)
+
+    def overlapping(self, lo: float, hi: float) -> np.ndarray:
+        """Ids of partitions whose range intersects the query ``[lo, hi]``."""
+        if hi < lo:
+            raise ValueError(f"empty query range [{lo}, {hi}]")
+        first = int(np.searchsorted(self.bounds, lo, side="right") - 1)
+        last = int(np.searchsorted(self.bounds, hi, side="left") - 1)
+        first = max(first, 0)
+        last = min(max(last, first), self.nparts - 1)
+        if hi < self.bounds[0] or lo > self.bounds[-1]:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(first, last + 1, dtype=np.int64)
+
+    def with_version(self, version: int) -> "PartitionTable":
+        return PartitionTable(self.bounds, version)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PartitionTable(nparts={self.nparts}, v{self.version}, "
+            f"range=[{self.lo:.6g}, {self.hi:.6g}])"
+        )
+
+
+def load_stddev(counts: np.ndarray, normalized: bool = True) -> float:
+    """Partition load imbalance metric used throughout the paper's eval.
+
+    Standard deviation of per-partition loads; when ``normalized`` it is
+    divided by the mean load, matching the "normalized load standard
+    deviation" reported in Figs. 9-11 (e.g. 0.05 = 5% imbalance).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if len(counts) == 0:
+        return 0.0
+    mean = counts.mean()
+    std = counts.std()
+    if not normalized:
+        return float(std)
+    if mean == 0:
+        return 0.0
+    return float(std / mean)

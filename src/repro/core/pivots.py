@@ -1,0 +1,211 @@
+"""Summary-statistics primitives: histogram sampling and pivot union.
+
+These are the two primitives CARP's renegotiation is built from (paper
+§V-C1):
+
+* **histogram sampling** — convert a rank's lossy key histogram (plus
+  its OOB buffer contents) into *pivots*: ``m`` ascending points that
+  divide the observed distribution into ``m - 1`` equal-mass intervals.
+  Pivots are computed by linear interpolation between histogram bin
+  boundaries, i.e. by inverting a piecewise-linear CDF.
+
+* **pivot union** — merge pivot sets from many ranks into pivots
+  representing the global distribution.  Each pivot set *is* a
+  piecewise-linear CDF (equal mass between consecutive points), so the
+  union is the sum of CDFs followed by resampling.  The operation is
+  associative and commutative (it loses a little precision at every
+  resample), which is exactly what lets TRP run it as a tree reduction
+  (paper §VI).
+
+The representation backbone is :class:`WeightedCDF`, a monotone
+piecewise-linear cumulative weight function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class WeightedCDF:
+    """A monotone piecewise-linear cumulative distribution of key mass.
+
+    ``x`` is an ascending array of breakpoints and ``cw`` the cumulative
+    weight at each breakpoint (``cw[0]`` may be positive when the first
+    breakpoint carries a point mass).  Between breakpoints the mass is
+    assumed uniformly spread, matching the linear interpolation the
+    paper uses for pivot calculation.
+    """
+
+    __slots__ = ("x", "cw")
+
+    def __init__(self, x: np.ndarray, cw: np.ndarray) -> None:
+        x = np.asarray(x, dtype=np.float64)
+        cw = np.asarray(cw, dtype=np.float64)
+        if x.ndim != 1 or cw.ndim != 1 or len(x) != len(cw):
+            raise ValueError("x and cw must be 1-D arrays of equal length")
+        if len(x) == 0:
+            raise ValueError("empty CDF")
+        if np.any(np.diff(x) < 0):
+            raise ValueError("x must be non-decreasing")
+        if np.any(np.diff(cw) < -1e-9):
+            raise ValueError("cw must be non-decreasing")
+        self.x = x
+        self.cw = cw
+
+    @property
+    def total(self) -> float:
+        return float(self.cw[-1])
+
+    @classmethod
+    def from_histogram(cls, edges: np.ndarray, counts: np.ndarray) -> "WeightedCDF":
+        """CDF of a histogram, with mass uniform within each bin."""
+        edges = np.asarray(edges, dtype=np.float64)
+        counts = np.asarray(counts, dtype=np.float64)
+        if len(edges) != len(counts) + 1:
+            raise ValueError("edges must have len(counts)+1 entries")
+        if np.any(counts < 0):
+            raise ValueError("counts must be non-negative")
+        cw = np.concatenate(([0.0], np.cumsum(counts)))
+        return cls(edges, cw)
+
+    @classmethod
+    def from_samples(cls, keys: np.ndarray, weight: float = 1.0) -> "WeightedCDF":
+        """Empirical CDF of raw key samples (e.g. an OOB buffer)."""
+        keys = np.asarray(keys, dtype=np.float64)
+        if len(keys) == 0:
+            raise ValueError("cannot build a CDF from no samples")
+        uniq, counts = np.unique(keys, return_counts=True)
+        cw = np.cumsum(counts) * weight
+        return cls(uniq, cw)
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        """Cumulative weight at each of ``points``."""
+        points = np.asarray(points, dtype=np.float64)
+        return np.interp(points, self.x, self.cw, left=0.0, right=self.total)
+
+    def quantiles(self, masses: np.ndarray) -> np.ndarray:
+        """Invert the CDF: key value at each cumulative mass.
+
+        Zero-mass plateaus keep only their two edge breakpoints, so the
+        inversion interpolates correctly on both sides of an empty
+        region instead of smearing mass across it.
+        """
+        masses = np.asarray(masses, dtype=np.float64)
+        if len(self.x) == 1:
+            return np.full(len(masses), self.x[0])
+        rises = np.diff(self.cw) > 0
+        keep = np.ones(len(self.cw), dtype=bool)
+        # interior plateau points (flat on both sides) carry no info
+        keep[1:-1] = rises[:-1] | rises[1:]
+        xs, ws = self.x[keep], self.cw[keep]
+        if len(xs) == 1:
+            return np.full(len(masses), xs[0])
+        return np.interp(masses, ws, xs)
+
+    @staticmethod
+    def sum(cdfs: list["WeightedCDF"]) -> "WeightedCDF":
+        """Sum of several CDFs (union of distributions)."""
+        cdfs = [c for c in cdfs if c.total > 0]
+        if not cdfs:
+            raise ValueError("no mass to merge")
+        if len(cdfs) == 1:
+            return cdfs[0]
+        xs = np.unique(np.concatenate([c.x for c in cdfs]))
+        cw = np.zeros(len(xs))
+        for c in cdfs:
+            cw += c.evaluate(xs)
+        return WeightedCDF(xs, cw)
+
+
+@dataclass(frozen=True)
+class Pivots:
+    """A compact lossy representation of a key distribution.
+
+    ``points`` are ``m`` ascending key values delimiting ``m - 1``
+    intervals of equal mass; ``count`` is the total mass represented.
+    """
+
+    points: np.ndarray
+    count: float
+
+    def __post_init__(self) -> None:
+        points = np.asarray(self.points, dtype=np.float64)
+        if points.ndim != 1 or len(points) < 2:
+            raise ValueError("pivots need at least 2 points")
+        if np.any(np.diff(points) < 0):
+            raise ValueError("pivot points must be non-decreasing")
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+        object.__setattr__(self, "points", points)
+
+    @property
+    def width(self) -> int:
+        """Number of pivot points (the paper's "pivot count" knob)."""
+        return len(self.points)
+
+    def as_cdf(self) -> WeightedCDF:
+        """The piecewise-linear CDF this pivot set encodes."""
+        cw = np.linspace(0.0, self.count, len(self.points))
+        return WeightedCDF(self.points, cw)
+
+
+def pivots_from_cdf(cdf: WeightedCDF, width: int) -> Pivots:
+    """Resample a CDF into ``width`` equal-mass pivot points."""
+    if width < 2:
+        raise ValueError(f"pivot width must be >= 2, got {width}")
+    masses = np.linspace(0.0, cdf.total, width)
+    pts = cdf.quantiles(masses)
+    # enforce monotonicity against floating-point jitter in interp
+    pts = np.maximum.accumulate(pts)
+    return Pivots(pts, cdf.total)
+
+
+def pivots_from_histogram(
+    edges: np.ndarray | None,
+    counts: np.ndarray | None,
+    width: int,
+    oob_keys: np.ndarray | None = None,
+) -> Pivots | None:
+    """Histogram-sampling primitive (paper §V-C1).
+
+    Builds pivots from a rank's histogram plus the raw keys currently
+    sitting in its OOB buffer.  Returns ``None`` when the rank has
+    observed no keys at all (it then contributes nothing to the union).
+    """
+    parts: list[WeightedCDF] = []
+    if edges is not None and counts is not None and np.sum(counts) > 0:
+        parts.append(WeightedCDF.from_histogram(edges, counts))
+    if oob_keys is not None and len(oob_keys) > 0:
+        parts.append(WeightedCDF.from_samples(oob_keys))
+    if not parts:
+        return None
+    return pivots_from_cdf(WeightedCDF.sum(parts), width)
+
+
+def pivot_union(pivot_sets: list[Pivots | None], width: int) -> Pivots:
+    """Pivot-union primitive: merge many pivot sets, resample to ``width``.
+
+    Associative and commutative up to resampling loss; the total mass is
+    conserved exactly.
+    """
+    live = [p for p in pivot_sets if p is not None and p.count > 0]
+    if not live:
+        raise ValueError("pivot union over empty inputs")
+    merged = WeightedCDF.sum([p.as_cdf() for p in live])
+    return pivots_from_cdf(merged, width)
+
+
+def partition_bounds_from_pivots(pivots: Pivots, nparts: int) -> np.ndarray:
+    """Divide a global pivot distribution into ``nparts`` equal-mass bins.
+
+    This is the final step of renegotiation: the new partition table's
+    bounds are the ``nparts + 1`` equal-mass quantiles of the merged
+    global distribution (paper Fig. 5).
+    """
+    if nparts < 1:
+        raise ValueError("nparts must be >= 1")
+    cdf = pivots.as_cdf()
+    masses = np.linspace(0.0, cdf.total, nparts + 1)
+    return np.maximum.accumulate(cdf.quantiles(masses))

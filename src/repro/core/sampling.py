@@ -1,0 +1,156 @@
+"""Reservoir sampling: an alternative summary-statistics backend.
+
+The paper notes that "different quantile estimation techniques can be
+plugged into CARP" (§V-C1) — histogram-based sampling is simply the one
+the authors found efficient and tunable.  This module provides the
+classic alternative: a fixed-size uniform *reservoir sample* of the
+keys seen since the last renegotiation (Vitter's Algorithm R, batched).
+
+Trade-offs versus the histogram backend (quantified in
+``benchmarks/bench_ablation_stats_backend.py``):
+
+* a reservoir is distribution-agnostic — no bin-placement error, so it
+  shines when the current partition bounds are badly misaligned with
+  the data (early epochs, heavy drift),
+* but its accuracy is limited by sample variance (~1/sqrt(capacity))
+  rather than interpolation error, and its memory is capacity x 4 bytes
+  versus one counter per partition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pivots import Pivots
+
+
+class ReservoirSampler:
+    """A fixed-capacity uniform sample over a key stream (Algorithm R).
+
+    Batched: ``observe`` handles whole arrays, filling the reservoir
+    first and then replacing existing entries with probability
+    ``capacity / seen`` per incoming key — equivalent in distribution
+    to the per-item classic algorithm.
+    """
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 2:
+            raise ValueError("capacity must be >= 2")
+        self.capacity = capacity
+        self._rng = np.random.default_rng(seed)
+        self._sample = np.empty(capacity, dtype=np.float64)
+        self._filled = 0
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        """Total keys observed since the last reset."""
+        return self._seen
+
+    @property
+    def is_empty(self) -> bool:
+        return self._filled == 0
+
+    def sample(self) -> np.ndarray:
+        """The current reservoir contents (a copy)."""
+        return self._sample[: self._filled].copy()
+
+    def observe(self, keys: np.ndarray) -> None:
+        """Fold a batch of keys into the reservoir."""
+        keys = np.asarray(keys, dtype=np.float64)
+        n = len(keys)
+        if n == 0:
+            return
+        start = 0
+        # phase 1: fill the reservoir
+        if self._filled < self.capacity:
+            take = min(self.capacity - self._filled, n)
+            self._sample[self._filled : self._filled + take] = keys[:take]
+            self._filled += take
+            self._seen += take
+            start = take
+        if start >= n:
+            return
+        # phase 2: each key i (0-based within the remainder) replaces a
+        # random slot with probability capacity / (seen + i + 1)
+        rest = keys[start:]
+        m = len(rest)
+        positions = self._seen + 1 + np.arange(m, dtype=np.float64)
+        accept = self._rng.random(m) < self.capacity / positions
+        idx = np.nonzero(accept)[0]
+        if len(idx):
+            slots = self._rng.integers(0, self.capacity, size=len(idx))
+            # later keys must win slot collisions to match Algorithm R's
+            # sequential semantics; in-order assignment does that
+            self._sample[slots] = rest[idx]
+        self._seen += m
+
+    def reset(self) -> None:
+        self._filled = 0
+        self._seen = 0
+
+    def compute_pivots(
+        self, width: int, oob_keys: np.ndarray | None = None
+    ) -> Pivots | None:
+        """Equal-mass pivots from the reservoir (plus OOB keys).
+
+        The reservoir represents ``seen`` keys with ``capacity``
+        samples, so its CDF weight is scaled accordingly before the OOB
+        keys (exact, unweighted) are folded in.
+        """
+        from repro.core.pivots import WeightedCDF, pivots_from_cdf
+
+        parts: list[WeightedCDF] = []
+        if self._filled:
+            weight = max(self._seen, self._filled) / self._filled
+            parts.append(WeightedCDF.from_samples(self.sample(), weight=weight))
+        if oob_keys is not None and len(oob_keys) > 0:
+            parts.append(WeightedCDF.from_samples(np.asarray(oob_keys)))
+        if not parts:
+            return None
+        return pivots_from_cdf(WeightedCDF.sum(parts), width)
+
+
+class BiasedReservoirSampler(ReservoirSampler):
+    """A recency-biased reservoir (Aggarwal-style biased sampling).
+
+    The uniform reservoir weights the whole inter-renegotiation window
+    equally, which goes stale under intra-epoch drift (quantified in
+    ``benchmarks/bench_ablation_stats_backend.py``).  Here every
+    incoming key replaces a random slot with a *constant* probability
+    once the reservoir is full, so the sample decays exponentially
+    toward recent keys with time constant ``capacity / replace_prob``
+    items.
+
+    With ``replace_prob=1.0`` the reservoir approximates the most
+    recent ``capacity``-ish keys; smaller values lengthen the memory.
+    """
+
+    def __init__(self, capacity: int, replace_prob: float = 1.0,
+                 seed: int = 0) -> None:
+        super().__init__(capacity, seed=seed)
+        if not 0.0 < replace_prob <= 1.0:
+            raise ValueError("replace_prob must be in (0, 1]")
+        self.replace_prob = replace_prob
+
+    def observe(self, keys: np.ndarray) -> None:
+        keys = np.asarray(keys, dtype=np.float64)
+        n = len(keys)
+        if n == 0:
+            return
+        start = 0
+        if self._filled < self.capacity:
+            take = min(self.capacity - self._filled, n)
+            self._sample[self._filled : self._filled + take] = keys[:take]
+            self._filled += take
+            self._seen += take
+            start = take
+        if start >= n:
+            return
+        rest = keys[start:]
+        accept = self._rng.random(len(rest)) < self.replace_prob
+        idx = np.nonzero(accept)[0]
+        if len(idx):
+            slots = self._rng.integers(0, self.capacity, size=len(idx))
+            self._sample[slots] = rest[idx]
+        self._seen += len(rest)

@@ -1,0 +1,90 @@
+"""Renegotiation triggers (paper §V-B, §V-C2).
+
+CARP renegotiates its partition table when either of two triggers
+fires:
+
+* the **OOB trigger** — a rank's Out-Of-Bounds buffer filled up, so the
+  table must be extended to cover newly seen keys (this also bootstraps
+  every epoch, when no table exists at all);
+
+* the **rebalancing trigger** — a fixed-interval timer that fires
+  several times per epoch to absorb intra-epoch key-distribution drift.
+  The paper found periodic firing simpler than drift detection and
+  equally effective (§VII-C4).
+
+The triggers are evaluated by the run driver; this module keeps the
+bookkeeping (how many records have flowed since the last renegotiation,
+how often to fire) separate from the protocol itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class TriggerReason(Enum):
+    """Why a renegotiation round was started."""
+
+    BOOTSTRAP = "bootstrap"
+    OOB_FULL = "oob_full"
+    PERIODIC = "periodic"
+    EXTERNAL = "external"  # application hint (e.g. AMR refinement signal)
+    EPOCH_FLUSH = "epoch_flush"  # end-of-epoch drain of residual OOB data
+
+
+@dataclass
+class PeriodicTrigger:
+    """Fixed-interval rebalancing trigger.
+
+    Fires every ``interval_records`` records ingested across the whole
+    application (i.e. ``epoch_records / renegotiations_per_epoch``).
+    The bootstrap renegotiation counts as the first firing of the epoch.
+    """
+
+    interval_records: int
+    _since_last: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.interval_records < 1:
+            raise ValueError("interval_records must be >= 1")
+
+    @classmethod
+    def per_epoch(cls, epoch_records: int, times_per_epoch: int) -> "PeriodicTrigger":
+        """Build a trigger that fires ``times_per_epoch`` times over an
+        epoch of ``epoch_records`` total records."""
+        if times_per_epoch < 1:
+            raise ValueError("times_per_epoch must be >= 1")
+        interval = max(1, epoch_records // times_per_epoch)
+        return cls(interval_records=interval)
+
+    def advance(self, records: int) -> bool:
+        """Account for ``records`` more ingested records; return True if
+        the trigger should fire."""
+        if records < 0:
+            raise ValueError("records must be non-negative")
+        self._since_last += records
+        return self._since_last >= self.interval_records
+
+    def reset(self) -> None:
+        """Acknowledge a renegotiation (of any cause)."""
+        self._since_last = 0
+
+    @property
+    def records_since_last(self) -> int:
+        return self._since_last
+
+
+@dataclass
+class TriggerLog:
+    """Record of the renegotiations performed during a run (for stats)."""
+
+    events: list[tuple[int, TriggerReason]] = field(default_factory=list)
+
+    def record(self, round_idx: int, reason: TriggerReason) -> None:
+        self.events.append((round_idx, reason))
+
+    def count(self, reason: TriggerReason | None = None) -> int:
+        if reason is None:
+            return len(self.events)
+        return sum(1 for _, r in self.events if r == reason)

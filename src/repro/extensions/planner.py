@@ -1,0 +1,182 @@
+"""Cost-based query planning over heterogeneous indexes (paper §VIII).
+
+The paper's discussion closes with: "To leverage the full potential of
+different indexing techniques, it is necessary to develop end-to-end
+analysis engines that can ... generate an appropriate combination of
+in-situ embedded, in-situ auxiliary, and (if necessary) post-processing
+transformations".  This module is a small such engine: given whatever
+indexes exist for a dataset —
+
+* the clustered CARP primary (cheap sequential reads, one attribute),
+* sorted auxiliary CARP indexes (pointer lookup + random-read fetch),
+* bitmap indexes (index scan + random-read fetch),
+* and always the full scan —
+
+it *estimates* each plan's latency from metadata alone (manifest byte
+counts, bin statistics — no data reads) and executes the cheapest one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.fastquery import BitmapIndex
+from repro.extensions.multi_attribute import AuxiliaryIndexReader
+from repro.query.engine import PartitionedStore
+from repro.sim.iomodel import IOModel
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """One candidate execution plan with its estimated cost."""
+
+    plan: str  # "clustered" | "aux" | "bitmap" | "scan"
+    attribute: str
+    estimated_latency: float
+
+
+@dataclass(frozen=True)
+class PlannedResult:
+    """Outcome of a planned query execution."""
+
+    choice: PlanChoice
+    alternatives: tuple[PlanChoice, ...]
+    rids: np.ndarray
+    actual_latency: float
+
+    def __len__(self) -> int:
+        return len(self.rids)
+
+
+class QueryPlanner:
+    """Plan and execute range queries across available indexes."""
+
+    def __init__(
+        self,
+        primary_store: PartitionedStore,
+        primary_attribute: str,
+        aux_reader: AuxiliaryIndexReader | None = None,
+        aux_attributes: tuple[str, ...] = (),
+        bitmap_indexes: dict[str, BitmapIndex] | None = None,
+        io: IOModel | None = None,
+        record_size: int = 60,
+    ) -> None:
+        self.primary = primary_store
+        self.primary_attribute = primary_attribute
+        self.aux_reader = aux_reader
+        self.aux_attributes = tuple(aux_attributes)
+        if aux_attributes and aux_reader is None:
+            raise ValueError("aux_attributes given without an aux_reader")
+        self.bitmaps = bitmap_indexes or {}
+        self.io = io or IOModel()
+        self.record_size = record_size
+
+    # ----------------------------------------------------------- estimates
+
+    def _estimate_clustered(self, epoch: int, lo: float, hi: float) -> float:
+        ents = self.primary.overlapping_entries(epoch, lo, hi)
+        nbytes = sum(e.length for _, e in ents)
+        return (
+            self.io.read_time(nbytes, len(ents))
+            + self.io.merge_time(nbytes)
+            + self.io.scan_time(nbytes)
+        )
+
+    def _estimate_aux(self, attr: str, epoch: int, lo: float, hi: float) -> float:
+        assert self.aux_reader is not None
+        from repro.extensions.multi_attribute import AUX_SUBDIR_PREFIX
+
+        with PartitionedStore(
+            self.aux_reader.out_dir / f"{AUX_SUBDIR_PREFIX}{attr}", io=self.io
+        ) as aux_store:
+            ents = aux_store.overlapping_entries(epoch, lo, hi)
+            index_bytes = sum(e.length for _, e in ents)
+            # upper-bound match estimate: every record of an overlapping
+            # pointer SST could match
+            est_rows = sum(e.count for _, e in ents)
+        return (
+            self.io.read_time(index_bytes, max(len(ents), 1))
+            + self.io.random_read_time(est_rows * self.record_size, est_rows)
+        )
+
+    def _estimate_bitmap(self, attr: str, lo: float, hi: float) -> float:
+        idx = self.bitmaps[attr]
+        first = max(int(np.searchsorted(idx.edges, lo, side="right")) - 1, 0)
+        last = min(int(np.searchsorted(idx.edges, hi, side="left")) - 1,
+                   idx.nbins - 1)
+        index_bytes = 8 * len(idx.edges)
+        est_rows = 0
+        if last >= first:
+            for b in range(first, last + 1):
+                bm = idx.bitmaps.get(b)
+                if bm is not None:
+                    index_bytes += bm.nbytes
+                    est_rows += bm.count
+        return (
+            self.io.read_time(index_bytes, max(last - first + 1, 1))
+            + self.io.random_read_time(est_rows * self.record_size, est_rows)
+        )
+
+    def _estimate_scan(self, epoch: int) -> float:
+        nbytes = self.primary.total_bytes(epoch)
+        nssts = len(self.primary.entries(epoch))
+        return self.io.read_time(nbytes, nssts) + self.io.scan_time(nbytes)
+
+    # ---------------------------------------------------------------- plan
+
+    def candidates(self, attr: str, epoch: int, lo: float, hi: float
+                   ) -> list[PlanChoice]:
+        """All executable plans for a predicate, with estimated costs."""
+        out: list[PlanChoice] = []
+        if attr == self.primary_attribute:
+            out.append(PlanChoice("clustered", attr,
+                                  self._estimate_clustered(epoch, lo, hi)))
+        if attr in self.aux_attributes:
+            out.append(PlanChoice("aux", attr,
+                                  self._estimate_aux(attr, epoch, lo, hi)))
+        if attr in self.bitmaps:
+            out.append(PlanChoice("bitmap", attr,
+                                  self._estimate_bitmap(attr, lo, hi)))
+        # a scan works only when the primary layout carries the
+        # attribute being filtered (it stores the primary key)
+        if attr == self.primary_attribute:
+            out.append(PlanChoice("scan", attr, self._estimate_scan(epoch)))
+        if not out:
+            raise ValueError(f"no index can answer attribute {attr!r}")
+        return sorted(out, key=lambda c: c.estimated_latency)
+
+    def plan(self, attr: str, epoch: int, lo: float, hi: float) -> PlanChoice:
+        """The cheapest executable plan for a predicate."""
+        return self.candidates(attr, epoch, lo, hi)[0]
+
+    # ------------------------------------------------------------- execute
+
+    def execute(self, attr: str, epoch: int, lo: float, hi: float
+                ) -> PlannedResult:
+        """Plan, then run the chosen plan; returns matching rids."""
+        cands = self.candidates(attr, epoch, lo, hi)
+        choice = cands[0]
+        if choice.plan in ("clustered", "scan"):
+            res = (self.primary.query(epoch, lo, hi)
+                   if choice.plan == "clustered"
+                   else self.primary.scan(epoch))
+            rids = res.rids
+            if choice.plan == "scan":
+                from repro.core.records import range_mask
+
+                mask = range_mask(res.keys, lo, hi)
+                rids = res.rids[mask]
+            latency = res.cost.latency
+        elif choice.plan == "aux":
+            assert self.aux_reader is not None
+            aux = self.aux_reader.query(attr, epoch, lo, hi)
+            rids, latency = aux.rids, aux.latency
+        else:  # bitmap
+            _, rids, cost = self.bitmaps[attr].query(lo, hi, io=self.io)
+            latency = cost.latency
+        return PlannedResult(
+            choice=choice, alternatives=tuple(cands[1:]),
+            rids=rids, actual_latency=latency,
+        )

@@ -1,0 +1,23 @@
+"""Query engine: range queries, the RangeReader client, quality metrics."""
+
+from repro.query.engine import PartitionedStore, QueryCost, QueryResult
+from repro.query.metrics import (
+    raf_percentiles,
+    read_amplification_profile,
+    selectivity,
+    selectivity_profile,
+)
+from repro.query.reader import (
+    BatchQuerySpec,
+    BatchResult,
+    RangeReader,
+    read_batch_csv,
+    write_batch_csv,
+)
+
+__all__ = [
+    "PartitionedStore", "QueryCost", "QueryResult", "raf_percentiles",
+    "read_amplification_profile", "selectivity", "selectivity_profile",
+    "BatchQuerySpec", "BatchResult", "RangeReader", "read_batch_csv",
+    "write_batch_csv",
+]

@@ -1,0 +1,82 @@
+"""In-flight shuffle traffic: the delivery-delay queue.
+
+The physical shuffle fabric batches records into RPC buffers and takes
+time to deliver them.  The consequence the paper cares about is *stray
+keys* (§V-D): a record dispatched under partition-table version ``v``
+may be delivered after the table has moved to ``v + 1``, in which case
+it can land on a rank that no longer owns its key.
+
+:class:`DelayQueue` models this with a configurable delivery delay in
+simulation rounds.  Messages carry the table version they were routed
+under so receivers (KoiDB) can account for stray arrivals.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.records import RecordBatch
+
+
+@dataclass(frozen=True)
+class ShuffleMessage:
+    """A batch of records in flight toward ``dest``."""
+
+    dest: int
+    batch: RecordBatch
+    table_version: int
+
+
+class DelayQueue:
+    """FIFO fabric with a fixed delivery delay measured in rounds.
+
+    ``delay_rounds == 0`` delivers within the same round's
+    :meth:`tick`; larger values hold messages for that many additional
+    rounds, widening the window in which a renegotiation can turn them
+    into strays.
+    """
+
+    def __init__(self, delay_rounds: int = 1) -> None:
+        if delay_rounds < 0:
+            raise ValueError("delay_rounds must be >= 0")
+        self.delay_rounds = delay_rounds
+        self._slots: deque[list[ShuffleMessage]] = deque(
+            [[] for _ in range(delay_rounds + 1)]
+        )
+        self._in_flight_records = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Number of records currently traversing the fabric."""
+        return self._in_flight_records
+
+    def send(self, dest: int, batch: RecordBatch, table_version: int) -> None:
+        """Dispatch a batch toward ``dest`` under ``table_version``."""
+        if len(batch) == 0:
+            return
+        if dest < 0:
+            raise ValueError(f"invalid destination {dest}")
+        self._slots[-1].append(ShuffleMessage(dest, batch, table_version))
+        self._in_flight_records += len(batch)
+
+    def tick(self) -> list[ShuffleMessage]:
+        """Advance one round; return the messages that arrive now."""
+        arrived = self._slots.popleft()
+        self._slots.append([])
+        self._in_flight_records -= sum(len(m.batch) for m in arrived)
+        return arrived
+
+    def drain(self) -> list[ShuffleMessage]:
+        """Flush the fabric: deliver everything still in flight.
+
+        Used at epoch end, where CARP flushes all data to disk to align
+        with the application's checkpoint fault-tolerance semantics
+        (paper §V-A).
+        """
+        arrived: list[ShuffleMessage] = []
+        for slot in self._slots:
+            arrived.extend(slot)
+            slot.clear()
+        self._in_flight_records = 0
+        return arrived

@@ -1,0 +1,91 @@
+"""The DeltaFS 3-hop all-to-all overlay topology.
+
+CARP reuses DeltaFS's scalable shuffle (paper §V-A): instead of every
+rank opening a connection to every other rank (O(N^2) flows), ranks are
+grouped by node and messages travel at most three hops:
+
+1. *local* hop — sender to the per-node representative of the
+   destination's node group,
+2. *global* hop — representative to a representative on the
+   destination's node,
+3. *delivery* hop — local delivery to the destination rank.
+
+This module models the topology itself: hop paths, per-hop message
+counts, and connection footprint.  It is used by the network model to
+cost shuffle traffic and by tests to verify the O(N * sqrt(N))-ish
+connection scaling argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Overlay3Hop:
+    """A 3-hop overlay over ``nranks`` ranks grouped ``ranks_per_node``
+    to a node."""
+
+    nranks: int
+    ranks_per_node: int = 16
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        if self.ranks_per_node < 1:
+            raise ValueError("ranks_per_node must be >= 1")
+
+    @property
+    def nnodes(self) -> int:
+        return -(-self.nranks // self.ranks_per_node)
+
+    def node_of(self, rank: int) -> int:
+        self._check(rank)
+        return rank // self.ranks_per_node
+
+    def local_root(self, node: int, peer_node: int) -> int:
+        """The rank on ``node`` responsible for traffic toward
+        ``peer_node`` (round-robin over the node's ranks)."""
+        first = node * self.ranks_per_node
+        last = min(first + self.ranks_per_node, self.nranks) - 1
+        width = last - first + 1
+        return first + peer_node % width
+
+    def path(self, src: int, dst: int) -> list[int]:
+        """The sequence of ranks a message visits from ``src`` to
+        ``dst`` (including both endpoints, without consecutive
+        duplicates)."""
+        self._check(src)
+        self._check(dst)
+        src_node, dst_node = self.node_of(src), self.node_of(dst)
+        hops = [src]
+        if src_node == dst_node:
+            if src != dst:
+                hops.append(dst)
+            return hops
+        origin_rep = self.local_root(src_node, dst_node)
+        remote_rep = self.local_root(dst_node, src_node)
+        for nxt in (origin_rep, remote_rep, dst):
+            if nxt != hops[-1]:
+                hops.append(nxt)
+        return hops
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Number of network hops (edges) between ``src`` and ``dst``."""
+        return len(self.path(src, dst)) - 1
+
+    def connections_per_rank(self) -> int:
+        """Upper bound on flows any one rank must maintain.
+
+        Each rank talks to: all ranks on its own node, plus (if it is a
+        representative) one representative per remote node.  This is
+        what keeps the overlay scalable versus N-1 flows for direct
+        all-to-all.
+        """
+        local = min(self.ranks_per_node, self.nranks) - 1
+        remote = self.nnodes - 1
+        return local + remote
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.nranks:
+            raise IndexError(f"rank {rank} out of range (nranks={self.nranks})")

@@ -1,0 +1,17 @@
+"""Cluster simulation substrate: cost models and the pipeline engine."""
+
+from repro.sim.cluster import ClusterSpec, PAPER_CLUSTER
+from repro.sim.engine import (
+    PipelineResult,
+    post_processing_throughput,
+    simulate_ingestion,
+)
+from repro.sim.iomodel import IOModel, PAPER_IO
+from repro.sim.netmodel import NetModel
+from repro.sim.runner import EpochTiming, price_renegotiations, time_epoch
+
+__all__ = [
+    "ClusterSpec", "PAPER_CLUSTER", "PipelineResult",
+    "post_processing_throughput", "simulate_ingestion", "IOModel", "PAPER_IO",
+    "NetModel", "EpochTiming", "price_renegotiations", "time_epoch",
+]

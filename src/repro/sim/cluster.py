@@ -1,0 +1,96 @@
+"""Cluster specification: the paper's testbed as a cost-model substrate.
+
+The paper evaluates on 32 compute nodes (2x 8-core Xeon E5-2670, 64 GB
+DRAM, 40 Gb/s IB QDR) writing to a 20-node Lustre cluster with one
+240 GiB SSD per node.  We cannot run on that hardware, so this module
+captures the *externally observable* characteristics the evaluation
+depends on:
+
+* the achievable storage bandwidth as a function of writer count
+  ("Storage Bound" in Fig. 7b: 1.6 GB/s at 32 ranks rising to
+  3 GB/s saturation at 512 ranks, with a small contention dip at
+  1024),
+* the aggregate shuffle bandwidth as a function of rank count
+  ("Network Bound": scales linearly with ranks until it exceeds
+  storage),
+* per-rank memory budget arithmetic (§VI's 27 MB/rank footprint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+GB = 1e9
+MB = 1e6
+KB = 1e3
+
+#: Measured storage-bound points from Fig. 7b (ranks -> bytes/sec).
+DEFAULT_STORAGE_BOUND_POINTS: tuple[tuple[int, float], ...] = (
+    (32, 1.6 * GB),
+    (64, 2.0 * GB),
+    (128, 2.4 * GB),
+    (256, 2.75 * GB),
+    (512, 3.0 * GB),
+    (1024, 2.85 * GB),  # contention dip from many parallel writers
+)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Cost-model parameters of the evaluation cluster."""
+
+    compute_nodes: int = 32
+    cores_per_node: int = 16
+    storage_nodes: int = 20
+    #: Effective per-rank shuffle goodput (bytes/sec).  Calibrated so the
+    #: network bound crosses the storage bound between 128 and 256 ranks
+    #: as in Fig. 7b.
+    shuffle_goodput_per_rank: float = 12.0 * MB
+    #: RPC round-trip latency of the (IPoIB-emulated) fabric, seconds.
+    rpc_latency: float = 0.8e-3
+    #: Effective per-flow network bandwidth for control messages.
+    control_bandwidth: float = 16.0 * MB
+    #: Data-plane shuffle RPC batch size (paper: 32 KB buffers).
+    shuffle_batch_bytes: int = 32 * 1024
+    storage_bound_points: tuple[tuple[int, float], ...] = DEFAULT_STORAGE_BOUND_POINTS
+
+    def storage_bound(self, nranks: int) -> float:
+        """Achievable aggregate storage bandwidth for ``nranks`` writers,
+        log-interpolated between the measured points."""
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        xs = np.array([p[0] for p in self.storage_bound_points], dtype=np.float64)
+        ys = np.array([p[1] for p in self.storage_bound_points], dtype=np.float64)
+        return float(np.interp(np.log2(nranks), np.log2(xs), ys))
+
+    def network_bound(self, nranks: int) -> float:
+        """Aggregate all-to-all shuffle bandwidth for ``nranks`` ranks."""
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        return nranks * self.shuffle_goodput_per_rank
+
+    def memory_per_rank(
+        self,
+        nranks: int,
+        memtable_bytes: int = 12 * 1024 * 1024,
+        oob_entries: int = 512,
+        record_size: int = 64,
+    ) -> int:
+        """Per-rank memory footprint in bytes (paper §VI arithmetic).
+
+        2 MB of shuffle RPC buffers, two KoiDB memtables, the partition
+        table, per-partition shuffle counters, and the OOB buffer — the
+        paper's example run (4096 ranks, defaults) comes to ~27 MB.
+        """
+        shuffle_buffers = 2 * 1024 * 1024
+        memtables = 2 * memtable_bytes
+        table = 4 * nranks          # one 4-byte boundary per rank
+        counters = 4 * nranks
+        oob = oob_entries * record_size
+        return shuffle_buffers + memtables + table + counters + oob
+
+
+#: The paper's evaluation cluster.
+PAPER_CLUSTER = ClusterSpec()

@@ -1,0 +1,69 @@
+"""Network cost model: RPC, reduction-tree, and broadcast latency.
+
+Converts the communication structure of a renegotiation round
+(:class:`~repro.core.renegotiation.RenegStats`) into simulated wall
+time.  The model is per-level: all groups at a reduction level run in
+parallel, so the level's time is governed by the receiver with the
+largest fan-in; each received message costs one RPC latency plus
+serialization over the control-plane bandwidth, and merging pivots
+costs CPU proportional to the pivot volume.
+
+Absolute values are calibrated to the paper's Fig. 10a (IPoIB-emulated
+fabric: a 512-pivot round at 2048 ranks takes ~150 ms; latency grows
+logarithmically in ranks and proportionally in pivot count).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.renegotiation import RenegStats
+from repro.sim.cluster import ClusterSpec, PAPER_CLUSTER
+
+
+@dataclass(frozen=True)
+class NetModel:
+    """Latency model for CARP's control plane."""
+
+    rpc_latency: float = PAPER_CLUSTER.rpc_latency
+    bandwidth: float = PAPER_CLUSTER.control_bandwidth
+    #: CPU cost of merging one pivot point during a union, seconds.
+    merge_cost_per_pivot: float = 2.0e-7
+
+    @classmethod
+    def from_cluster(cls, cluster: ClusterSpec) -> "NetModel":
+        return cls(rpc_latency=cluster.rpc_latency, bandwidth=cluster.control_bandwidth)
+
+    def message_time(self, nbytes: int) -> float:
+        """Time to deliver one control-plane RPC of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.rpc_latency + nbytes / self.bandwidth
+
+    def broadcast_time(self, nranks: int, nbytes: int) -> float:
+        """Binomial-tree broadcast of the new partition table."""
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        depth = math.ceil(math.log2(nranks)) if nranks > 1 else 0
+        return depth * self.message_time(nbytes)
+
+    def renegotiation_time(self, stats: RenegStats) -> float:
+        """Simulated duration of one renegotiation round.
+
+        Per reduction level, groups work in parallel; the slowest
+        receiver handles ``max_fanin`` sequential message receipts and
+        merges the corresponding pivot volume.  A final broadcast ships
+        the new partition table to all ranks.
+        """
+        total = 0.0
+        for _senders, max_fanin, msg_bytes in stats.levels:
+            recv = max_fanin * self.message_time(msg_bytes)
+            merge = max_fanin * stats.pivot_width * self.merge_cost_per_pivot
+            total += recv + merge
+        total += self.broadcast_time(stats.nranks, stats.broadcast_bytes)
+        return total
+
+    def shuffle_flush_time(self, nranks: int, batch_bytes: int) -> float:
+        """Time to flush in-flight shuffle buffers before a flush point."""
+        return self.message_time(batch_bytes) * math.ceil(math.log2(max(nranks, 2)))

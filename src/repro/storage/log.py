@@ -1,0 +1,261 @@
+"""Per-rank append-only logs (``RDB-XXXXXXXX.tbl``).
+
+Each KoiDB instance writes one log file to shared storage.  The file is
+a pure append-only sequence of SSTables interleaved with per-epoch
+manifest blocks and footers; the newest footer (at end-of-file) locates
+the newest manifest block, and manifest blocks chain backwards so all
+epochs remain reachable.
+
+The query client opens logs read-only, which is what lets multiple
+concurrent query clients coexist (paper §V-D).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.records import RecordBatch
+from repro.storage.blocks import key_block_size
+from repro.storage.manifest import (
+    BLOCK_HDR_SIZE,
+    FOOTER_SIZE,
+    ManifestEntry,
+    ManifestError,
+    decode_footer,
+    decode_manifest_block,
+    encode_footer,
+    encode_manifest_block,
+    manifest_block_size,
+)
+from repro.storage.sstable import (
+    HEADER_SIZE,
+    SSTableInfo,
+    build_sstable,
+    parse_keys_only,
+    parse_sstable,
+)
+
+LOG_PREFIX = "RDB-"
+LOG_SUFFIX = ".tbl"
+
+
+def log_name(rank: int) -> str:
+    return f"{LOG_PREFIX}{rank:08d}{LOG_SUFFIX}"
+
+
+def log_rank(path: Path | str) -> int:
+    """Recover the writing rank from a log file name."""
+    name = Path(path).name
+    if not (name.startswith(LOG_PREFIX) and name.endswith(LOG_SUFFIX)):
+        raise ValueError(f"not a KoiDB log name: {name}")
+    return int(name[len(LOG_PREFIX) : -len(LOG_SUFFIX)])
+
+
+def list_logs(directory: Path | str) -> list[Path]:
+    """All KoiDB logs in a directory, ordered by rank."""
+    directory = Path(directory)
+    logs = sorted(directory.glob(f"{LOG_PREFIX}*{LOG_SUFFIX}"), key=log_rank)
+    return logs
+
+
+class LogWriter:
+    """Appends SSTables and per-epoch manifests to one log file."""
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "wb")
+        self._offset = 0
+        self._pending: list[ManifestEntry] = []
+        self._last_manifest_offset: int | None = None
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    @property
+    def pending_entries(self) -> int:
+        return len(self._pending)
+
+    def append_batch(
+        self,
+        batch: RecordBatch,
+        epoch: int,
+        sort: bool = True,
+        stray: bool = False,
+        sub_id: int = 0,
+    ) -> ManifestEntry:
+        """Compact a batch into an SSTable and append it to the log."""
+        data, info = build_sstable(batch, epoch, sort=sort, stray=stray, sub_id=sub_id)
+        entry = ManifestEntry(
+            offset=self._offset,
+            length=len(data),
+            count=info.count,
+            kmin=info.kmin,
+            kmax=info.kmax,
+            epoch=epoch,
+            flags=info.flags,
+            sub_id=sub_id,
+        )
+        self._fh.write(data)
+        self._offset += len(data)
+        self._pending.append(entry)
+        return entry
+
+    def flush_epoch(self, epoch: int) -> None:
+        """Persist pending manifest entries and a fresh footer.
+
+        Called at the end of every checkpoint epoch (paper §V-A aligns
+        CARP's durability with the application's epoch semantics).
+        Writing an empty manifest is legal — it still advances the
+        footer so the log parses cleanly.
+        """
+        block = encode_manifest_block(self._pending, epoch, self._last_manifest_offset)
+        block_offset = self._offset
+        self._fh.write(block)
+        self._offset += len(block)
+        self._fh.write(encode_footer(block_offset))
+        self._offset += FOOTER_SIZE
+        self._fh.flush()
+        self._last_manifest_offset = block_offset
+        self._pending = []
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "LogWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class LogReader:
+    """Read-only access to a KoiDB log: manifest chain + SSTables.
+
+    With ``recover=True`` a log whose tail is damaged (e.g. the writer
+    crashed mid-epoch, leaving SST bytes after the last footer) is
+    opened at its newest *valid* footer instead of failing — the
+    epoch-aligned recovery semantics of paper §V-A: data is durable at
+    checkpoint-epoch granularity, and a torn epoch simply disappears.
+    """
+
+    def __init__(self, path: Path | str, recover: bool = False) -> None:
+        self.path = Path(path)
+        self._fh = open(self.path, "rb")
+        self._size = os.path.getsize(self.path)
+        self.recovered_bytes_dropped = 0
+        self._entries = self._load_entries(recover)
+        #: Bytes of data read through this reader (for I/O accounting).
+        self.bytes_read = 0
+        #: Number of distinct read requests issued (proxy for seeks).
+        self.read_requests = 0
+
+    def _find_last_valid_footer(self) -> int:
+        """Scan backwards for the newest parseable footer.
+
+        Returns the manifest offset it points at; raises
+        :class:`ManifestError` when no valid footer exists anywhere.
+        """
+        from repro.storage.manifest import FOOTER_MAGIC
+
+        window = min(self._size, 4 * 1024 * 1024)
+        self._fh.seek(self._size - window)
+        blob = self._fh.read(window)
+        pos = len(blob)
+        while True:
+            pos = blob.rfind(FOOTER_MAGIC, 0, pos)
+            if pos < 0:
+                raise ManifestError(f"{self.path}: no valid footer found")
+            candidate = blob[pos : pos + FOOTER_SIZE]
+            if len(candidate) == FOOTER_SIZE:
+                try:
+                    offset = decode_footer(candidate)
+                except ManifestError:
+                    continue
+                footer_end = self._size - window + pos + FOOTER_SIZE
+                self.recovered_bytes_dropped = self._size - footer_end
+                return offset
+
+    def _load_entries(self, recover: bool) -> list[ManifestEntry]:
+        if self._size < FOOTER_SIZE:
+            raise ManifestError(f"{self.path}: too small to hold a footer")
+        self._fh.seek(self._size - FOOTER_SIZE)
+        try:
+            offset = decode_footer(self._fh.read(FOOTER_SIZE))
+        except ManifestError:
+            if not recover:
+                raise
+            offset = self._find_last_valid_footer()
+        chain: list[list[ManifestEntry]] = []
+        seen: set[int] = set()
+        cur: int | None = offset
+        while cur is not None:
+            if cur in seen or cur >= self._size:
+                raise ManifestError(f"{self.path}: corrupt manifest chain")
+            seen.add(cur)
+            self._fh.seek(cur)
+            # read the fixed header first to learn the entry count, then
+            # the exact remaining block bytes
+            head = self._fh.read(BLOCK_HDR_SIZE)
+            if len(head) < BLOCK_HDR_SIZE:
+                raise ManifestError(f"{self.path}: truncated manifest block")
+            n = int.from_bytes(head[-4:], "little")
+            rest = self._fh.read(manifest_block_size(n) - BLOCK_HDR_SIZE)
+            entries, prev, _epoch = decode_manifest_block(head + rest)
+            chain.append(entries)
+            cur = prev
+        # chain was walked newest-first; restore append order
+        out: list[ManifestEntry] = []
+        for entries in reversed(chain):
+            out.extend(entries)
+        return out
+
+    @property
+    def entries(self) -> list[ManifestEntry]:
+        return self._entries
+
+    def entries_for(
+        self, epoch: int | None = None, lo: float | None = None, hi: float | None = None
+    ) -> list[ManifestEntry]:
+        """Manifest entries filtered by epoch and/or key-range overlap."""
+        out = self._entries
+        if epoch is not None:
+            out = [e for e in out if e.epoch == epoch]
+        if lo is not None and hi is not None:
+            out = [e for e in out if e.overlaps(lo, hi)]
+        return out
+
+    def read_sst(self, entry: ManifestEntry) -> RecordBatch:
+        """Read and parse a full SSTable (key + value blocks)."""
+        self._fh.seek(entry.offset)
+        data = self._fh.read(entry.length)
+        self.bytes_read += len(data)
+        self.read_requests += 1
+        _info, batch = parse_sstable(data)
+        return batch
+
+    def read_sst_keys(self, entry: ManifestEntry) -> tuple[SSTableInfo, np.ndarray]:
+        """Read just an SSTable's header and key block."""
+        # header + key block length is derivable from the entry count
+        span = HEADER_SIZE + key_block_size(entry.count)
+        self._fh.seek(entry.offset)
+        data = self._fh.read(min(span, entry.length))
+        info, keys = parse_keys_only(data)
+        self.bytes_read += len(data)
+        self.read_requests += 1
+        return info, keys
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "LogReader":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

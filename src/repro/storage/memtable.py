@@ -1,0 +1,92 @@
+"""Double-buffered memtables.
+
+KoiDB collects shuffled records in a memory buffer; when it fills, the
+contents are compacted into an SSTable and appended to the log while a
+second buffer keeps accepting new records (paper §V-D).  In this
+single-process reproduction compaction is synchronous, but the
+double-buffer structure is kept so the simulator can account for the
+background-flush overlap and so the memory-footprint math matches the
+paper's two-memtables-per-rank budget.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import RecordBatch
+
+
+class Memtable:
+    """A bounded in-memory accumulation buffer of record batches."""
+
+    def __init__(self, capacity_records: int, value_size: int) -> None:
+        if capacity_records < 1:
+            raise ValueError("capacity_records must be >= 1")
+        self.capacity = capacity_records
+        self.value_size = value_size
+        self._chunks: list[RecordBatch] = []
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_full(self) -> bool:
+        return self._count >= self.capacity
+
+    @property
+    def nbytes(self) -> int:
+        return sum(c.nbytes for c in self._chunks)
+
+    def add(self, batch: RecordBatch) -> None:
+        """Append a batch; the table may exceed capacity transiently —
+        the owner is expected to check :attr:`is_full` and flush."""
+        if len(batch) == 0:
+            return
+        if batch.value_size != self.value_size:
+            raise ValueError("batch value_size does not match memtable")
+        self._chunks.append(batch)
+        self._count += len(batch)
+
+    def drain(self) -> RecordBatch:
+        """Remove and return the full contents."""
+        batch = (
+            RecordBatch.concat(self._chunks)
+            if self._chunks
+            else RecordBatch.empty(self.value_size)
+        )
+        self._chunks = []
+        self._count = 0
+        return batch
+
+
+class DoubleBuffer:
+    """Two memtables: one active, one (conceptually) flushing.
+
+    ``swap()`` returns the filled buffer's contents for compaction and
+    makes the spare buffer active, mirroring KoiDB's background
+    compaction structure.  ``flush_swaps`` counts how many background
+    compactions a real deployment would have overlapped.
+    """
+
+    def __init__(self, capacity_records: int, value_size: int) -> None:
+        self.active = Memtable(capacity_records, value_size)
+        self.spare = Memtable(capacity_records, value_size)
+        self.flush_swaps = 0
+
+    def add(self, batch: RecordBatch) -> None:
+        self.active.add(batch)
+
+    @property
+    def should_flush(self) -> bool:
+        return self.active.is_full
+
+    def swap(self) -> RecordBatch:
+        """Swap buffers and return the previously active contents."""
+        out = self.active.drain()
+        self.active, self.spare = self.spare, self.active
+        self.flush_swaps += 1
+        return out
+
+    def drain_all(self) -> RecordBatch:
+        """Drain both buffers (epoch-end flush)."""
+        parts = [self.spare.drain(), self.active.drain()]
+        return RecordBatch.concat([p for p in parts if len(p)])

@@ -1,0 +1,177 @@
+"""SSTable serialization: KoiDB's immutable on-disk unit.
+
+An SSTable (paper Fig. 6) is a header followed by a key block and a
+value block.  The header records the key range, the epoch, flags
+(sorted / stray) and a subpartition id, and is protected by its own
+CRC.  SSTables are append-only: once written to a log they are never
+modified.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.records import RecordBatch
+from repro.storage.blocks import (
+    BlockCorruptionError,
+    decode_key_block,
+    decode_value_block,
+    encode_key_block,
+    encode_value_block,
+    key_block_size,
+)
+
+SST_MAGIC = b"KSST"
+SST_FORMAT_VERSION = 1
+
+#: Header layout: magic, format version, flags, epoch, sub_id, count,
+#: kmin, kmax, key block len, value block len, value size, header CRC.
+_HEADER_FMT = "<4sHHIIQddQQII"
+HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+#: SST flag bits.
+FLAG_SORTED = 0x1
+FLAG_STRAY = 0x2
+
+
+@dataclass(frozen=True)
+class SSTableInfo:
+    """Parsed SSTable header."""
+
+    flags: int
+    epoch: int
+    sub_id: int
+    count: int
+    kmin: float
+    kmax: float
+    key_block_len: int
+    val_block_len: int
+    value_size: int
+
+    @property
+    def is_sorted(self) -> bool:
+        return bool(self.flags & FLAG_SORTED)
+
+    @property
+    def is_stray(self) -> bool:
+        return bool(self.flags & FLAG_STRAY)
+
+    @property
+    def total_len(self) -> int:
+        return HEADER_SIZE + self.key_block_len + self.val_block_len
+
+
+def build_sstable(
+    batch: RecordBatch,
+    epoch: int,
+    sort: bool = True,
+    stray: bool = False,
+    sub_id: int = 0,
+) -> tuple[bytes, SSTableInfo]:
+    """Compact a record batch into SSTable bytes (paper's *compaction*).
+
+    Compaction optionally sorts the contents by key, then serializes
+    keys and values into separate sub-blocks for efficient query-time
+    parsing.
+    """
+    if len(batch) == 0:
+        raise ValueError("cannot build an empty SSTable")
+    if sort:
+        batch = batch.sorted_by_key()
+    flags = (FLAG_SORTED if sort else 0) | (FLAG_STRAY if stray else 0)
+    kb = encode_key_block(batch.keys)
+    vb = encode_value_block(batch.rids, batch.value_size)
+    info = SSTableInfo(
+        flags=flags,
+        epoch=epoch,
+        sub_id=sub_id,
+        count=len(batch),
+        kmin=float(batch.keys.min()),
+        kmax=float(batch.keys.max()),
+        key_block_len=len(kb),
+        val_block_len=len(vb),
+        value_size=batch.value_size,
+    )
+    header_wo_crc = struct.pack(
+        _HEADER_FMT,
+        SST_MAGIC,
+        SST_FORMAT_VERSION,
+        info.flags,
+        info.epoch,
+        info.sub_id,
+        info.count,
+        info.kmin,
+        info.kmax,
+        info.key_block_len,
+        info.val_block_len,
+        info.value_size,
+        0,
+    )[:-4]
+    crc = zlib.crc32(header_wo_crc) & 0xFFFFFFFF
+    header = header_wo_crc + crc.to_bytes(4, "little")
+    return header + kb + vb, info
+
+
+def parse_header(data: bytes) -> SSTableInfo:
+    """Parse and CRC-verify an SSTable header."""
+    if len(data) < HEADER_SIZE:
+        raise BlockCorruptionError("truncated SSTable header")
+    fields = struct.unpack(_HEADER_FMT, data[:HEADER_SIZE])
+    (magic, fmt, flags, epoch, sub_id, count, kmin, kmax, kb_len, vb_len,
+     value_size, crc) = fields
+    if magic != SST_MAGIC:
+        raise BlockCorruptionError(f"bad SSTable magic {magic!r}")
+    if fmt != SST_FORMAT_VERSION:
+        raise BlockCorruptionError(f"unsupported SSTable format version {fmt}")
+    expect = zlib.crc32(data[: HEADER_SIZE - 4]) & 0xFFFFFFFF
+    if crc != expect:
+        raise BlockCorruptionError("SSTable header CRC mismatch")
+    return SSTableInfo(flags, epoch, sub_id, count, kmin, kmax, kb_len, vb_len,
+                       value_size)
+
+
+def parse_sstable(data: bytes) -> tuple[SSTableInfo, RecordBatch]:
+    """Parse a complete SSTable (header + key block + value block)."""
+    info = parse_header(data)
+    if len(data) < info.total_len:
+        raise BlockCorruptionError("truncated SSTable body")
+    kb_start = HEADER_SIZE
+    vb_start = kb_start + info.key_block_len
+    keys = decode_key_block(data[kb_start:vb_start])
+    rids = decode_value_block(
+        data[vb_start : vb_start + info.val_block_len], info.value_size
+    )
+    if len(keys) != info.count or len(rids) != info.count:
+        raise BlockCorruptionError("SSTable count does not match block contents")
+    return info, RecordBatch(keys, rids, info.value_size)
+
+
+def parse_keys_only(data: bytes) -> tuple[SSTableInfo, np.ndarray]:
+    """Parse just the header and key block.
+
+    Query clients use this to fetch key blocks first (paper §VII-A) and
+    defer value-block reads until matches are known.
+    """
+    info = parse_header(data)
+    kb_start = HEADER_SIZE
+    kb_end = kb_start + info.key_block_len
+    if len(data) < kb_end:
+        raise BlockCorruptionError("truncated SSTable key block")
+    keys = decode_key_block(data[kb_start:kb_end])
+    if len(keys) != info.count:
+        raise BlockCorruptionError("SSTable count does not match key block")
+    return info, keys
+
+
+def key_block_span(info: SSTableInfo) -> tuple[int, int]:
+    """(offset, length) of the key block relative to the SST start."""
+    return HEADER_SIZE, info.key_block_len
+
+
+def expected_key_block_len(count: int) -> int:
+    """Key block length an SST with ``count`` records must have."""
+    return key_block_size(count)

@@ -1,0 +1,12 @@
+"""Command-line tools mirroring the paper artifact's binaries.
+
+* ``carp-range-runner`` — replay an eparticle trace through CARP (A3),
+* ``carp-compactor``    — build the fully sorted layout (A4),
+* ``carp-range-reader`` — analyze / query / batch-query output (A5),
+* ``carp-tracegen``     — synthesize VPIC/AMR traces (stand-in for A1/A2),
+* ``carp-fsck``         — verify CRCs and invariants of KoiDB output.
+"""
+
+from repro.tools import compactor_cli, fsck_cli, range_reader_cli, range_runner, tracegen
+
+__all__ = ["compactor_cli", "fsck_cli", "range_reader_cli", "range_runner", "tracegen"]

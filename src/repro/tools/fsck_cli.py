@@ -1,0 +1,46 @@
+"""``carp-fsck`` — verify the integrity of a partitioned output directory.
+
+Walks every KoiDB log, checking CRCs, manifest chains, and the
+metadata invariants the query engine relies on.
+
+Examples::
+
+    carp-fsck -i /tmp/carp-out
+    carp-fsck -i /tmp/carp-out --fast        # manifests only
+    carp-fsck -i /tmp/carp-out --recover     # tolerate torn tails
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.storage.fsck import fsck
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="carp-fsck",
+        description="Verify CRCs and invariants of KoiDB output.",
+    )
+    p.add_argument("-i", "--input", required=True, type=Path,
+                   help="partitioned output directory")
+    p.add_argument("--fast", action="store_true",
+                   help="check manifests/footers only (skip SST bodies)")
+    p.add_argument("--recover", action="store_true",
+                   help="open crash-torn logs at their last valid footer")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    report = fsck(args.input, deep=not args.fast, recover=args.recover)
+    print(report.summary())
+    for err in report.errors:
+        print(f"  error: {err}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,7 @@
+"""Workload substrate: synthetic VPIC/AMR traces and the eparticle format."""
+
+from repro.traces import amr, io, stats, vpic
+from repro.traces.amr import AmrTraceSpec
+from repro.traces.vpic import VpicTraceSpec
+
+__all__ = ["amr", "io", "stats", "vpic", "AmrTraceSpec", "VpicTraceSpec"]

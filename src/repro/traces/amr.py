@@ -1,0 +1,130 @@
+"""Synthetic AMR (Phoebus / Sedov blast) energy traces.
+
+The paper's second workload is Phoebus, a mesh-based hydrodynamics code
+run with a Sedov blast-wave setup (Fig. 1b): initially a high-energy
+explosion occupies a tiny fraction of the mesh while most cells hold
+(near-)zero energy; over time the explosion's energy dissipates into a
+larger region, moving the distribution into a medium-energy band.
+
+The generator models that as a three-component mixture whose weights
+and centers evolve with progress:
+
+* a *cold* component — cells far from the blast, energies near zero,
+* a *front* component — the blast wave, center decaying from very high
+  energy toward the medium band as it spreads,
+* a *heated* component — the growing medium-energy region behind the
+  front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.records import RecordBatch, make_rids
+
+DEFAULT_TIMESTEPS: tuple[int, ...] = (0, 1, 2, 3, 4, 5, 6)
+
+#: Energy bands for Fig. 1b-style characterization.
+AMR_BANDS: tuple[tuple[float, float], ...] = (
+    (0.0, 1e-3),
+    (1e-3, 1.0),
+    (1.0, 50.0),
+    (50.0, np.inf),
+)
+
+_MAX_ENERGY = 4096.0
+
+
+@dataclass(frozen=True)
+class AmrTraceSpec:
+    """Shape of a synthetic Sedov-blast AMR trace."""
+
+    nranks: int = 32
+    cells_per_rank: int = 4096
+    timesteps: tuple[int, ...] = DEFAULT_TIMESTEPS
+    seed: int = 7
+    value_size: int = 56
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        if self.cells_per_rank < 1:
+            raise ValueError("cells_per_rank must be >= 1")
+        if len(self.timesteps) < 1:
+            raise ValueError("need at least one timestep")
+
+    @property
+    def ntimesteps(self) -> int:
+        return len(self.timesteps)
+
+    def progress(self, ts_index: int) -> float:
+        if self.ntimesteps == 1:
+            return 0.0
+        return ts_index / (self.ntimesteps - 1)
+
+
+def mixture_at(progress: float) -> tuple[float, float, float, float, float]:
+    """Mixture parameters at a given progress.
+
+    Returns ``(w_cold, w_front, w_heated, front_center, heated_center)``.
+    Early: almost all cold, a tiny extremely hot front.  Late: a large
+    heated medium-energy band, a weakened front.
+    """
+    p = float(np.clip(progress, 0.0, 1.0))
+    w_front = 0.02 + 0.04 * p            # the front sweeps more cells over time
+    w_heated = 0.01 + 0.55 * p ** 1.5    # heated region grows behind the front
+    w_cold = max(1.0 - w_front - w_heated, 0.05)
+    total = w_cold + w_front + w_heated
+    front_center = 800.0 * (1.0 - p) ** 2 + 20.0   # blast dissipates
+    heated_center = 3.0 + 7.0 * p                   # medium band
+    return (w_cold / total, w_front / total, w_heated / total,
+            front_center, heated_center)
+
+
+def sample_energies(
+    progress: float, n: int, rng: np.random.Generator, rank_skew: float = 0.0
+) -> np.ndarray:
+    """Sample ``n`` cell energies at a given simulation progress."""
+    if n == 0:
+        return np.empty(0, dtype=np.float32)
+    w_cold, w_front, w_heated, fc, hc = mixture_at(progress)
+    # rank skew shifts mass between cold and heated (spatial locality:
+    # some ranks hold blast-adjacent subdomains, others the far field)
+    shift = 0.3 * rank_skew * w_heated
+    w_heated = max(w_heated + shift, 0.0)
+    w_cold = max(w_cold - shift, 0.0)
+    total = w_cold + w_front + w_heated
+    probs = np.array([w_cold, w_front, w_heated]) / total
+    counts = rng.multinomial(n, probs)
+    cold = rng.exponential(scale=1e-4, size=counts[0])
+    front = rng.lognormal(mean=np.log(fc), sigma=0.4, size=counts[1])
+    heated = rng.lognormal(mean=np.log(hc), sigma=0.5, size=counts[2])
+    energies = np.concatenate([cold, front, heated])
+    rng.shuffle(energies)
+    np.clip(energies, 0.0, _MAX_ENERGY, out=energies)
+    return energies.astype(np.float32)
+
+
+def generate_rank_stream(spec: AmrTraceSpec, ts_index: int, rank: int) -> RecordBatch:
+    """The record stream rank ``rank`` writes at timestep ``ts_index``."""
+    if not 0 <= ts_index < spec.ntimesteps:
+        raise IndexError(f"timestep index {ts_index} out of range")
+    if not 0 <= rank < spec.nranks:
+        raise IndexError(f"rank {rank} out of range")
+    rng = np.random.default_rng(np.random.SeedSequence([spec.seed, ts_index, rank]))
+    skew = 2.0 * (rank / max(spec.nranks - 1, 1)) - 1.0
+    keys = sample_energies(spec.progress(ts_index), spec.cells_per_rank, rng, skew)
+    start_seq = ts_index * spec.cells_per_rank
+    return RecordBatch(keys, make_rids(rank, start_seq, len(keys)), spec.value_size)
+
+
+def generate_timestep(spec: AmrTraceSpec, ts_index: int) -> list[RecordBatch]:
+    """All ranks' streams for one timestep."""
+    return [generate_rank_stream(spec, ts_index, r) for r in range(spec.nranks)]
+
+
+def timestep_keys(spec: AmrTraceSpec, ts_index: int) -> np.ndarray:
+    """Every key of a timestep, concatenated across ranks (float32)."""
+    return np.concatenate([b.keys for b in generate_timestep(spec, ts_index)])

@@ -1,0 +1,100 @@
+"""Trace file I/O in the paper artifact's ``eparticle`` format.
+
+The paper's sample trace (artifact A2) is laid out as::
+
+    trace_dir/
+      T.200/eparticle.0 .. eparticle.31
+      T.2000/...
+      T.3800/...
+
+where each ``eparticle.N`` file is a raw list of 4-byte little-endian
+float32 particle energies written by rank ``N``.  This module writes
+and reads that exact format so synthetic traces are interchangeable
+with real VPIC micro-traces.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.records import KEY_DTYPE, RecordBatch, make_rids
+
+_TS_DIR_RE = re.compile(r"^T\.(\d+)$")
+_EPARTICLE_RE = re.compile(r"^eparticle\.(\d+)$")
+
+
+def timestep_dir(trace_dir: Path | str, timestep: int) -> Path:
+    return Path(trace_dir) / f"T.{timestep}"
+
+
+def write_rank_file(trace_dir: Path | str, timestep: int, rank: int,
+                    keys: np.ndarray) -> Path:
+    """Write one rank's energies for one timestep."""
+    ts_dir = timestep_dir(trace_dir, timestep)
+    ts_dir.mkdir(parents=True, exist_ok=True)
+    path = ts_dir / f"eparticle.{rank}"
+    np.ascontiguousarray(keys, dtype=KEY_DTYPE).tofile(path)
+    return path
+
+
+def write_timestep(trace_dir: Path | str, timestep: int,
+                   streams: list[RecordBatch]) -> Path:
+    """Write all ranks' streams of one timestep; returns the T.* dir."""
+    for rank, batch in enumerate(streams):
+        write_rank_file(trace_dir, timestep, rank, batch.keys)
+    return timestep_dir(trace_dir, timestep)
+
+
+def list_timesteps(trace_dir: Path | str) -> list[int]:
+    """Timestep ids present in a trace directory, ascending."""
+    trace_dir = Path(trace_dir)
+    out = []
+    for child in trace_dir.iterdir():
+        m = _TS_DIR_RE.match(child.name)
+        if m and child.is_dir():
+            out.append(int(m.group(1)))
+    return sorted(out)
+
+
+def list_ranks(trace_dir: Path | str, timestep: int) -> list[int]:
+    """Rank ids with data for a timestep, ascending."""
+    ts_dir = timestep_dir(trace_dir, timestep)
+    if not ts_dir.is_dir():
+        raise FileNotFoundError(f"no such timestep directory: {ts_dir}")
+    out = []
+    for child in ts_dir.iterdir():
+        m = _EPARTICLE_RE.match(child.name)
+        if m and child.is_file():
+            out.append(int(m.group(1)))
+    return sorted(out)
+
+
+def read_rank_keys(trace_dir: Path | str, timestep: int, rank: int) -> np.ndarray:
+    """Read one rank's raw energies for one timestep."""
+    path = timestep_dir(trace_dir, timestep) / f"eparticle.{rank}"
+    return np.fromfile(path, dtype=KEY_DTYPE)
+
+
+def read_timestep(
+    trace_dir: Path | str,
+    timestep: int,
+    value_size: int = 56,
+    seq_offset: int = 0,
+) -> list[RecordBatch]:
+    """Read a timestep back as per-rank record batches.
+
+    Record ids are reassigned on read (rank + sequence starting at
+    ``seq_offset``) since the raw trace format carries keys only.
+    """
+    streams = []
+    for rank in list_ranks(trace_dir, timestep):
+        keys = read_rank_keys(trace_dir, timestep, rank)
+        streams.append(
+            RecordBatch(keys, make_rids(rank, seq_offset, len(keys)), value_size)
+        )
+    if not streams:
+        raise ValueError(f"timestep {timestep} has no eparticle files")
+    return streams

@@ -1,0 +1,94 @@
+"""Workload characterization (paper §III, Fig. 1).
+
+Utilities to quantify what makes scientific key distributions hard to
+partition: band occupancy over time (Fig. 1's "interesting bands"),
+skewness, and timestep-to-timestep drift.  The Fig. 1 benchmark prints
+the band-fraction table these functions compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def band_fractions(
+    keys: np.ndarray, bands: tuple[tuple[float, float], ...]
+) -> np.ndarray:
+    """Fraction of keys falling in each ``[lo, hi)`` band."""
+    keys = np.asarray(keys, dtype=np.float64)
+    if len(keys) == 0:
+        raise ValueError("no keys")
+    out = np.empty(len(bands))
+    for i, (lo, hi) in enumerate(bands):
+        out[i] = np.count_nonzero((keys >= lo) & (keys < hi)) / len(keys)
+    return out
+
+
+def quantile_sketch(keys: np.ndarray, n: int = 101) -> np.ndarray:
+    """Equally spaced quantiles of a key set — a compact distribution
+    fingerprint used for drift measurement."""
+    keys = np.asarray(keys, dtype=np.float64)
+    if len(keys) == 0:
+        raise ValueError("no keys")
+    return np.quantile(keys, np.linspace(0.0, 1.0, n))
+
+
+def distribution_drift(keys_a: np.ndarray, keys_b: np.ndarray, n: int = 101) -> float:
+    """A Wasserstein-style drift metric between two key sets.
+
+    Mean absolute difference between matching quantiles, normalized by
+    the pooled inter-quartile range so it is scale-free.  Zero means
+    identical distributions; the paper's Fig. 9 narrative ("entropy"
+    between adjacent timesteps) is quantified with this.
+    """
+    qa = quantile_sketch(keys_a, n)
+    qb = quantile_sketch(keys_b, n)
+    pooled = np.concatenate([np.asarray(keys_a), np.asarray(keys_b)])
+    iqr = float(np.quantile(pooled, 0.75) - np.quantile(pooled, 0.25))
+    scale = iqr if iqr > 0 else 1.0
+    return float(np.mean(np.abs(qa - qb)) / scale)
+
+
+def skewness(keys: np.ndarray) -> float:
+    """Standardized third moment (Fisher skewness) of the keys."""
+    keys = np.asarray(keys, dtype=np.float64)
+    if len(keys) < 2:
+        raise ValueError("need at least 2 keys")
+    mu = keys.mean()
+    sd = keys.std()
+    if sd == 0:
+        return 0.0
+    return float(np.mean(((keys - mu) / sd) ** 3))
+
+
+@dataclass(frozen=True)
+class TimestepProfile:
+    """Summary of one timestep's key distribution."""
+
+    timestep: int
+    count: int
+    kmin: float
+    kmax: float
+    median: float
+    p99: float
+    skew: float
+    band_fracs: tuple[float, ...]
+
+    @classmethod
+    def from_keys(
+        cls, timestep: int, keys: np.ndarray,
+        bands: tuple[tuple[float, float], ...],
+    ) -> "TimestepProfile":
+        keys = np.asarray(keys, dtype=np.float64)
+        return cls(
+            timestep=timestep,
+            count=len(keys),
+            kmin=float(keys.min()),
+            kmax=float(keys.max()),
+            median=float(np.median(keys)),
+            p99=float(np.quantile(keys, 0.99)),
+            skew=skewness(keys),
+            band_fracs=tuple(band_fractions(keys, bands)),
+        )

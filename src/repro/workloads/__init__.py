@@ -1,0 +1,23 @@
+"""Query workloads: the Fig. 7a suite and YCSB Workload E."""
+
+from repro.workloads.queries import (
+    DEFAULT_SELECTIVITIES,
+    RangeQuerySpec,
+    build_query_suite,
+    query_for_selectivity,
+)
+from repro.workloads.ycsb import (
+    ScrambledZipfianGenerator,
+    SSTRangeQuery,
+    ZipfianGenerator,
+    fnvhash64,
+    sst_query_to_key_range,
+    workload_e_batch,
+)
+
+__all__ = [
+    "DEFAULT_SELECTIVITIES", "RangeQuerySpec", "build_query_suite",
+    "query_for_selectivity", "ScrambledZipfianGenerator", "SSTRangeQuery",
+    "ZipfianGenerator", "fnvhash64", "sst_query_to_key_range",
+    "workload_e_batch",
+]

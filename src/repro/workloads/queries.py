@@ -1,0 +1,87 @@
+"""Query-suite construction (paper §VII-A, Fig. 7a).
+
+The paper's latency experiment runs eight range queries of different
+selectivity (0.01% up to ~10%) against one timestep.  Queries are
+defined in key space; to hit a target selectivity under an arbitrary
+(skewed) distribution the bounds are derived from key quantiles, and
+anchors are spread across the keyspace so both the dense body and the
+sparse tail get exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Fig. 7a's selectivity ladder (fractions, not percent).
+DEFAULT_SELECTIVITIES: tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.02, 0.05, 0.10,
+)
+
+
+@dataclass(frozen=True)
+class RangeQuerySpec:
+    """One range query with its intended selectivity."""
+
+    lo: float
+    hi: float
+    target_selectivity: float
+    anchor: float
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.lo, self.hi)
+
+
+def query_for_selectivity(
+    keys: np.ndarray, selectivity: float, anchor: float = 0.5
+) -> RangeQuerySpec:
+    """A key range matching ``selectivity`` of ``keys``.
+
+    ``anchor`` positions the query in quantile space: the range covers
+    quantiles ``[anchor - s/2, anchor + s/2]`` (shifted to stay inside
+    [0, 1]).
+    """
+    if not 0 < selectivity <= 1:
+        raise ValueError(f"selectivity must be in (0, 1], got {selectivity}")
+    if not 0 <= anchor <= 1:
+        raise ValueError("anchor must be in [0, 1]")
+    keys = np.asarray(keys, dtype=np.float64)
+    if len(keys) == 0:
+        raise ValueError("no keys")
+    q_lo = anchor - selectivity / 2
+    q_hi = anchor + selectivity / 2
+    if q_lo < 0:
+        q_hi -= q_lo
+        q_lo = 0.0
+    if q_hi > 1:
+        q_lo -= q_hi - 1.0
+        q_hi = 1.0
+        q_lo = max(q_lo, 0.0)
+    lo, hi = np.quantile(keys, [q_lo, q_hi])
+    return RangeQuerySpec(float(lo), float(hi), selectivity, anchor)
+
+
+def build_query_suite(
+    keys: np.ndarray,
+    selectivities: tuple[float, ...] = DEFAULT_SELECTIVITIES,
+    anchors: tuple[float, ...] | None = None,
+) -> list[RangeQuerySpec]:
+    """The Fig. 7a eight-query suite for one timestep's keys.
+
+    Anchors alternate through the keyspace (median region, lower body,
+    upper body, tail) so queries of different selectivity also sample
+    different data densities.
+    """
+    if anchors is None:
+        anchors = (0.5, 0.25, 0.75, 0.9)
+    return [
+        query_for_selectivity(keys, s, anchors[i % len(anchors)])
+        for i, s in enumerate(selectivities)
+    ]
+
+
+def achieved_selectivity(keys: np.ndarray, spec: RangeQuerySpec) -> float:
+    """The selectivity a query spec actually achieves on ``keys``."""
+    keys = np.asarray(keys, dtype=np.float64)
+    return float(np.count_nonzero((keys >= spec.lo) & (keys <= spec.hi)) / len(keys))

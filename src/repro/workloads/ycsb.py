@@ -1,0 +1,164 @@
+"""YCSB workload primitives (Cooper et al., SoCC'10).
+
+Re-implements the pieces the paper's evaluation uses (§VII-A, Fig. 8):
+
+* the standard YCSB **Zipfian** generator (Gray et al.'s rejection-free
+  algorithm with the ``zeta``/``eta`` constants, theta = 0.99),
+* the **FNV-1a 64-bit** hash YCSB uses to scramble key order,
+* **Workload E** range-query batches: scan-start positions drawn from
+  the Zipfian distribution over sorted-SST numbers, fixed scan widths,
+  execution order randomized by the FNV hash.
+
+The paper drops Workload E's 5% inserts because CARP and TritonSort
+are transient indexing services, not online stores; we do the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+ZIPFIAN_CONSTANT = 0.99
+
+_FNV_OFFSET = np.uint64(0xCBF29CE484222325)
+_FNV_PRIME = np.uint64(0x100000001B3)
+
+
+def fnvhash64(values: np.ndarray) -> np.ndarray:
+    """YCSB's FNV-1a 64-bit hash of integer values (vectorized).
+
+    Processes each value's 8 little-endian bytes exactly as YCSB's
+    ``Utils.fnvhash64`` does.
+    """
+    vals = np.asarray(values, dtype=np.uint64)
+    h = np.full(vals.shape, _FNV_OFFSET, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        for shift in range(0, 64, 8):
+            octet = (vals >> np.uint64(shift)) & np.uint64(0xFF)
+            h = h ^ octet
+            h = h * _FNV_PRIME
+    return h
+
+
+class ZipfianGenerator:
+    """The YCSB Zipfian generator over items ``0 .. n-1``.
+
+    Item 0 is the most popular; popularity follows a Zipf law with
+    exponent ``theta``.
+    """
+
+    def __init__(self, n: int, theta: float = ZIPFIAN_CONSTANT,
+                 seed: int | np.random.Generator = 0) -> None:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1)")
+        self.n = n
+        self.theta = theta
+        self.rng = (
+            seed if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        self.zetan = self._zeta(n, theta)
+        self.zeta2 = self._zeta(2, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        if n > 2:
+            self.eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (
+                1.0 - self.zeta2 / self.zetan
+            )
+        else:
+            # Gray's approximation degenerates (0/0) for n <= 2; tiny
+            # item spaces are sampled exactly from the Zipf pmf instead
+            self.eta = 0.0
+        self._exact_probs: np.ndarray | None = None
+        if n <= 2:
+            weights = 1.0 / np.arange(1, n + 1) ** theta
+            self._exact_probs = weights / weights.sum()
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return float(np.sum(1.0 / np.arange(1, n + 1) ** theta))
+
+    def sample(self, count: int = 1) -> np.ndarray:
+        """Draw ``count`` Zipfian item numbers (vectorized)."""
+        if self._exact_probs is not None:
+            return self.rng.choice(self.n, size=count, p=self._exact_probs)
+        u = self.rng.random(count)
+        uz = u * self.zetan
+        out = (self.n * (self.eta * u - self.eta + 1.0) ** self.alpha).astype(np.int64)
+        out = np.where(uz < 1.0, 0, out)
+        out = np.where((uz >= 1.0) & (uz < 1.0 + 0.5 ** self.theta), 1, out)
+        return np.clip(out, 0, self.n - 1)
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian popularity spread uniformly over the item space.
+
+    YCSB scrambles the Zipfian rank through FNV so hot items are not
+    clustered at low ids.
+    """
+
+    def __init__(self, n: int, theta: float = ZIPFIAN_CONSTANT, seed: int = 0) -> None:
+        self.n = n
+        self._zipf = ZipfianGenerator(n, theta, seed)
+
+    def sample(self, count: int = 1) -> np.ndarray:
+        ranks = self._zipf.sample(count)
+        return (fnvhash64(ranks) % np.uint64(self.n)).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class SSTRangeQuery:
+    """A Workload-E scan expressed in sorted-SST numbers."""
+
+    start_sst: int
+    end_sst: int  # inclusive
+
+    @property
+    def width(self) -> int:
+        return self.end_sst - self.start_sst + 1
+
+
+def workload_e_batch(
+    n_ssts: int,
+    width: int,
+    count: int,
+    theta: float = ZIPFIAN_CONSTANT,
+    seed: int = 0,
+) -> list[SSTRangeQuery]:
+    """Build one Fig. 8 query batch.
+
+    ``count`` scans of fixed ``width`` SSTs; start positions are
+    Zipfian over ``[0, n_ssts)`` (clamped so scans stay in range) and
+    the batch execution order is randomized by the FNV hash of the
+    query sequence number, as in YCSB's request scrambling.
+    """
+    if width < 1 or width > n_ssts:
+        raise ValueError(f"width {width} out of range for {n_ssts} SSTs")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    gen = ZipfianGenerator(n_ssts, theta, seed)
+    starts = np.minimum(gen.sample(count), n_ssts - width)
+    order = np.argsort(fnvhash64(np.arange(count)), kind="stable")
+    return [
+        SSTRangeQuery(int(s), int(s) + width - 1) for s in starts[order]
+    ]
+
+
+def sst_query_to_key_range(
+    query: SSTRangeQuery, sst_boundaries: np.ndarray
+) -> tuple[float, float]:
+    """Translate an SST-number scan into the equivalent key range.
+
+    ``sst_boundaries`` are the sorted layout's ``n_ssts + 1`` boundary
+    keys (see :func:`repro.storage.compactor.sorted_sst_boundaries`).
+    The paper uses the same translation so CARP and TritonSort answer
+    identical key ranges.
+    """
+    n_ssts = len(sst_boundaries) - 1
+    if not 0 <= query.start_sst <= query.end_sst < n_ssts:
+        raise ValueError(f"{query} out of range for {n_ssts} SSTs")
+    return float(sst_boundaries[query.start_sst]), float(
+        sst_boundaries[query.end_sst + 1]
+    )

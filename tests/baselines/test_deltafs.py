@@ -1,0 +1,116 @@
+"""Tests for the DeltaFS hash-partitioning baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.deltafs import DeltaFSRun
+from repro.core.config import CarpOptions
+from repro.core.records import RecordBatch
+from repro.query.engine import PartitionedStore
+
+OPTS = CarpOptions(memtable_records=256, round_records=128, value_size=8)
+
+
+def streams(nranks=4, n=800, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        RecordBatch.from_keys(
+            rng.lognormal(size=n).astype(np.float32), rank=r, value_size=8
+        )
+        for r in range(nranks)
+    ]
+
+
+class TestDeltaFS:
+    def test_all_records_persisted(self, tmp_path):
+        with DeltaFSRun(4, tmp_path, OPTS) as run:
+            stats = run.ingest_epoch(0, streams())
+        with PartitionedStore(tmp_path) as store:
+            assert store.total_records(0) == stats.records == 3200
+
+    def test_hash_partitions_balanced(self, tmp_path):
+        """Hash partitioning balances load even under key skew."""
+        with DeltaFSRun(8, tmp_path, OPTS) as run:
+            stats = run.ingest_epoch(0, streams(8, 2000))
+        from repro.core.partition import load_stddev
+
+        assert load_stddev(stats.partition_loads) < 0.05
+
+    def test_no_key_locality(self, tmp_path):
+        """Every partition spans (almost) the whole key range — range
+        queries cannot prune partitions (Table I)."""
+        with DeltaFSRun(4, tmp_path, OPTS) as run:
+            run.ingest_epoch(0, streams())
+        with PartitionedStore(tmp_path) as store:
+            glo, ghi = store.key_range(0)
+            for rank_entries in range(4):
+                pass
+            # a mid-range point query must touch every log's SSTs
+            res = store.query(0, np.exp(0.0), np.exp(0.0) + 0.01)
+            assert res.cost.bytes_read > store.total_bytes(0) * 0.5
+
+    def test_range_query_reads_almost_everything(self, tmp_path):
+        with DeltaFSRun(4, tmp_path, OPTS) as run:
+            run.ingest_epoch(0, streams())
+        with PartitionedStore(tmp_path) as store:
+            res = store.query(0, 0.5, 1.5)
+            assert res.cost.bytes_read > 0.8 * store.total_bytes(0)
+
+    def test_correct_results_despite_hash_layout(self, tmp_path):
+        s = streams()
+        keys = np.concatenate([x.keys for x in s])
+        rids = np.concatenate([x.rids for x in s])
+        with DeltaFSRun(4, tmp_path, OPTS) as run:
+            run.ingest_epoch(0, s)
+        with PartitionedStore(tmp_path) as store:
+            res = store.query(0, 0.5, 1.5)
+            mask = (keys >= 0.5) & (keys <= 1.5)
+            assert set(res.rids.tolist()) == set(rids[mask].tolist())
+
+    def test_stream_count_validated(self, tmp_path):
+        with DeltaFSRun(4, tmp_path, OPTS) as run:
+            with pytest.raises(ValueError):
+                run.ingest_epoch(0, streams(3))
+
+    def test_multi_epoch(self, tmp_path):
+        with DeltaFSRun(2, tmp_path, OPTS) as run:
+            run.ingest_epoch(0, streams(2, 300, seed=0))
+            run.ingest_epoch(1, streams(2, 300, seed=1))
+        with PartitionedStore(tmp_path) as store:
+            assert store.epochs() == [0, 1]
+
+
+class TestPointQuery:
+    def test_finds_record(self, tmp_path):
+        from repro.baselines.deltafs import point_query
+
+        s = streams(4, 200)
+        with DeltaFSRun(4, tmp_path, OPTS) as run:
+            run.ingest_epoch(0, s)
+        target = s[2]
+        rid = int(target.rids[17])
+        res = point_query(tmp_path, 4, rid, epoch=0)
+        assert res.found
+        assert res.key == pytest.approx(float(target.keys[17]), rel=1e-6)
+
+    def test_reads_single_partition(self, tmp_path):
+        from repro.baselines.deltafs import point_query
+        from repro.query.engine import PartitionedStore
+
+        s = streams(4, 500)
+        with DeltaFSRun(4, tmp_path, OPTS) as run:
+            run.ingest_epoch(0, s)
+        rid = int(s[0].rids[0])
+        res = point_query(tmp_path, 4, rid, epoch=0)
+        with PartitionedStore(tmp_path) as store:
+            total = store.total_bytes(0)
+        # reads at most ~one partition's worth of data (stops early on hit)
+        assert res.bytes_read <= total / 4 + 4096
+
+    def test_missing_rid(self, tmp_path):
+        from repro.baselines.deltafs import point_query
+
+        with DeltaFSRun(2, tmp_path, OPTS) as run:
+            run.ingest_epoch(0, streams(2, 100))
+        res = point_query(tmp_path, 2, (1 << 50) + 12345, epoch=0)
+        assert not res.found

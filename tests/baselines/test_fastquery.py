@@ -1,0 +1,140 @@
+"""Tests for the FastQuery bitmap-index baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.fastquery import (
+    BitmapIndex,
+    RunLengthBitmap,
+    ingestion_throughput,
+)
+from repro.core.records import RecordBatch
+
+
+class TestRunLengthBitmap:
+    def test_single_run(self):
+        bm = RunLengthBitmap.from_positions(np.array([3, 4, 5]))
+        assert len(bm.starts) == 1
+        assert bm.count == 3
+        assert bm.positions().tolist() == [3, 4, 5]
+
+    def test_multiple_runs(self):
+        bm = RunLengthBitmap.from_positions(np.array([1, 2, 10, 11, 20]))
+        assert len(bm.starts) == 3
+        assert bm.positions().tolist() == [1, 2, 10, 11, 20]
+
+    def test_empty(self):
+        bm = RunLengthBitmap.from_positions(np.array([]))
+        assert bm.count == 0
+        assert len(bm.positions()) == 0
+        assert bm.nbytes == 0
+
+    def test_unsorted_input_handled(self):
+        bm = RunLengthBitmap.from_positions(np.array([5, 3, 4]))
+        assert bm.positions().tolist() == [3, 4, 5]
+
+    def test_compression_wins_on_runs(self):
+        dense = RunLengthBitmap.from_positions(np.arange(10_000))
+        assert dense.nbytes == 8  # one run
+
+    def test_scattered_positions_cost_more(self):
+        scattered = RunLengthBitmap.from_positions(np.arange(0, 2000, 2))
+        assert scattered.nbytes == 8 * 1000
+
+    @given(st.lists(st.integers(0, 500), max_size=200, unique=True))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, positions):
+        bm = RunLengthBitmap.from_positions(np.array(positions, dtype=np.int64))
+        assert bm.positions().tolist() == sorted(positions)
+        assert bm.count == len(positions)
+
+
+def make_index(n=5000, nbins=64, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = rng.lognormal(size=n).astype(np.float32)
+    rids = np.arange(n, dtype=np.uint64)
+    return BitmapIndex(keys, rids, nbins=nbins, record_size=60), keys, rids
+
+
+class TestBitmapIndex:
+    def test_query_equivalence(self):
+        idx, keys, rids = make_index()
+        for lo, hi in [(0.5, 1.5), (0.0, 100.0), (2.0, 2.1)]:
+            got_keys, got_rids, _ = idx.query(lo, hi)
+            mask = (keys >= lo) & (keys <= hi)
+            assert set(got_rids.tolist()) == set(rids[mask].tolist())
+            assert np.all(np.diff(got_keys) >= 0)
+
+    def test_empty_result(self):
+        idx, keys, _ = make_index()
+        _, rids, cost = idx.query(keys.max() + 10, keys.max() + 20)
+        assert len(rids) == 0
+
+    def test_invalid_range(self):
+        idx, _, _ = make_index()
+        with pytest.raises(ValueError):
+            idx.query(5.0, 1.0)
+
+    def test_quantile_binning_balances_bins(self):
+        idx, _, _ = make_index(nbins=32)
+        counts = [bm.count for bm in idx.bitmaps.values()]
+        assert max(counts) < 4 * min(counts)
+
+    def test_space_overhead_reasonable(self):
+        """Paper: FastQuery takes ~24% extra space for one attribute."""
+        idx, _, _ = make_index(n=20_000, nbins=1024)
+        assert 0.02 < idx.space_overhead < 0.6
+
+    def test_cost_random_reads_dominate(self):
+        idx, keys, _ = make_index()
+        lo, hi = np.quantile(keys, [0.4, 0.6])
+        _, rids, cost = idx.query(float(lo), float(hi))
+        assert cost.rows_retrieved == len(rids)
+        assert cost.retrieval_bytes == len(rids) * 60
+        assert cost.latency > 0
+
+    def test_edge_bins_checked(self):
+        idx, keys, _ = make_index()
+        lo = float(np.quantile(keys, 0.31))  # lands inside a bin
+        hi = float(np.quantile(keys, 0.52))
+        _, _, cost = idx.query(lo, hi)
+        assert cost.candidate_checks > 0
+
+    def test_from_streams(self):
+        streams = [
+            RecordBatch.from_keys(
+                np.random.default_rng(r).random(100).astype(np.float32),
+                rank=r, value_size=8,
+            )
+            for r in range(3)
+        ]
+        idx = BitmapIndex.from_streams(streams, nbins=16)
+        assert len(idx.keys) == 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BitmapIndex(np.array([], np.float32), np.array([], np.uint64))
+        with pytest.raises(ValueError):
+            BitmapIndex(np.ones(3, np.float32), np.arange(3, dtype=np.uint64),
+                        nbins=1)
+
+    def test_identical_keys_degenerate(self):
+        idx = BitmapIndex(np.full(100, 2.0, np.float32),
+                          np.arange(100, dtype=np.uint64), nbins=16)
+        _, rids, _ = idx.query(1.0, 3.0)
+        assert len(rids) == 100
+
+
+class TestIngestionModel:
+    def test_slowdown_near_paper(self):
+        """Paper: FastQuery's effective throughput is ~2.8x below raw."""
+        raw = 3e9
+        eff = ingestion_throughput(188e9, raw)
+        slowdown = raw / eff
+        assert 2.0 < slowdown < 3.5
+
+    def test_scales_with_overhead(self):
+        lean = ingestion_throughput(1e9, 1e9, space_overhead=0.0)
+        fat = ingestion_throughput(1e9, 1e9, space_overhead=1.0)
+        assert lean > fat

@@ -1,0 +1,106 @@
+"""Tests for the static/oracle partitioning study (Fig. 9, Fig. 10b)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.static_partition import (
+    evaluate_fit,
+    exact_partition_table,
+    oracle_partition_table,
+    pivot_lossiness_study,
+    static_partitioning_study,
+)
+from repro.traces.vpic import VpicTraceSpec, timestep_keys
+
+SPEC = VpicTraceSpec(nranks=4, particles_per_rank=4000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def ts_keys():
+    return [timestep_keys(SPEC, i) for i in range(SPEC.ntimesteps)]
+
+
+class TestOracleTable:
+    def test_fits_own_timestep_well(self, ts_keys):
+        table = oracle_partition_table(ts_keys[0], nparts=16, pivot_count=512)
+        assert evaluate_fit(table, ts_keys[0]) < 0.1
+
+    def test_exact_table_fits_best(self, ts_keys):
+        exact = exact_partition_table(ts_keys[0], 16)
+        assert evaluate_fit(exact, ts_keys[0]) < 0.02
+
+    def test_oracle_close_to_exact(self, ts_keys):
+        oracle = oracle_partition_table(ts_keys[0], 16, pivot_count=1024,
+                                        hist_bins=256)
+        exact = exact_partition_table(ts_keys[0], 16)
+        assert evaluate_fit(oracle, ts_keys[0]) <= evaluate_fit(exact, ts_keys[0]) + 0.15
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            exact_partition_table(np.array([]), 4)
+
+
+class TestEvaluateFit:
+    def test_clamps_out_of_range_keys(self, ts_keys):
+        table = oracle_partition_table(ts_keys[0], 8)
+        shifted = ts_keys[0] * 100.0  # way outside the table
+        fit = evaluate_fit(table, shifted)
+        assert np.isfinite(fit)
+        assert fit > 0.5  # everything piles into the last partition
+
+
+class TestFig9Study:
+    def test_series_shapes(self, ts_keys):
+        study = static_partitioning_study(ts_keys, nparts=16)
+        n = len(ts_keys)
+        assert len(study["from_first"]) == n
+        assert len(study["from_previous"]) == n
+        assert len(study["from_current"]) == n
+
+    def test_from_current_is_lower_bound(self, ts_keys):
+        """Fig. 9: current-timestep tables fit best (by definition)."""
+        study = static_partitioning_study(ts_keys, nparts=16)
+        for i in range(len(ts_keys)):
+            assert study["from_current"][i] <= study["from_first"][i] + 1e-9
+            assert study["from_current"][i] <= study["from_previous"][i] + 1e-9
+
+    def test_static_degrades_over_time(self, ts_keys):
+        """Fig. 9: the static (from-first) scheme's balance worsens as
+        the distribution drifts."""
+        study = static_partitioning_study(ts_keys, nparts=16)
+        early = np.mean(study["from_first"][:3])
+        late = np.mean(study["from_first"][-3:])
+        assert late > 2 * early
+
+    def test_previous_beats_first_late_in_run(self, ts_keys):
+        study = static_partitioning_study(ts_keys, nparts=16)
+        late = slice(len(ts_keys) // 2, None)
+        assert np.mean(np.array(study["from_previous"])[late]) < np.mean(
+            np.array(study["from_first"])[late]
+        )
+
+    def test_single_timestep(self, ts_keys):
+        study = static_partitioning_study(ts_keys[:1], nparts=8)
+        assert len(study["from_first"]) == 1
+
+
+class TestFig10bStudy:
+    def test_more_pivots_less_loss(self, ts_keys):
+        study = pivot_lossiness_study(ts_keys[:4], nparts=16,
+                                      pivot_counts=(16, 256))
+        assert np.mean(study[256]) < np.mean(study[16])
+
+    def test_diminishing_returns(self, ts_keys):
+        """Fig. 10b: gains diminish beyond ~256 pivots."""
+        study = pivot_lossiness_study(ts_keys[:4], nparts=16,
+                                      pivot_counts=(16, 256, 2048))
+        gain_low = np.mean(study[16]) - np.mean(study[256])
+        gain_high = np.mean(study[256]) - np.mean(study[2048])
+        assert gain_low > gain_high
+
+    def test_late_timesteps_harder(self, ts_keys):
+        """Fig. 10b: extremely skewed late timesteps need more pivots."""
+        study = pivot_lossiness_study(ts_keys, nparts=16, pivot_counts=(64,))
+        early = np.mean(study[64][:3])
+        late = np.mean(study[64][-2:])
+        assert late > early

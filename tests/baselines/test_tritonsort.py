@@ -1,0 +1,52 @@
+"""Tests for the TritonSort baseline (write model + sorted layout)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tritonsort import (
+    build_sorted_layout,
+    ingestion_throughput,
+    slowdown_vs_raw,
+)
+from repro.query.engine import PartitionedStore
+from repro.sim.cluster import PAPER_CLUSTER
+
+
+class TestWriteModel:
+    def test_slowdown_near_paper(self):
+        """Paper Fig. 7b: sort-based indexing is ~4.9x slower than raw."""
+        s = slowdown_vs_raw(512)
+        assert 4.5 < s < 5.2
+
+    def test_slowdown_volume_independent(self):
+        t1 = ingestion_throughput(1e9, 512)
+        t2 = ingestion_throughput(100e9, 512)
+        raw = PAPER_CLUSTER.storage_bound(512)
+        assert raw / t1 == pytest.approx(raw / t2)
+
+    def test_throughput_below_raw_everywhere(self):
+        for n in (32, 128, 512, 1024):
+            assert ingestion_throughput(1e9, n) < PAPER_CLUSTER.storage_bound(n)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ingestion_throughput(0, 32)
+
+
+class TestSortedLayout:
+    def test_build_from_carp_output(self, carp_output, tmp_path):
+        epoch_dir = build_sorted_layout(carp_output["dir"], tmp_path, 0,
+                                        sst_records=512)
+        with PartitionedStore(epoch_dir) as store:
+            entries = sorted((e for _, e in store.entries(0)),
+                             key=lambda e: e.offset)
+            # globally sorted, key-disjoint SSTs
+            for a, b in zip(entries, entries[1:]):
+                assert a.kmax <= b.kmin
+
+    def test_query_agreement_with_carp(self, carp_output, sorted_output):
+        with PartitionedStore(carp_output["dir"]) as carp, \
+             PartitionedStore(sorted_output) as sorted_store:
+            a = carp.query(0, 0.2, 3.0)
+            b = sorted_store.query(0, 0.2, 3.0)
+            assert set(a.rids.tolist()) == set(b.rids.tolist())

@@ -1,0 +1,67 @@
+"""Tests for the benchmark-harness formatting/persistence helpers."""
+
+import pytest
+
+from repro.bench.results import emit, results_dir
+from repro.bench.tables import (
+    banner,
+    fmt_bytes,
+    fmt_pct,
+    fmt_seconds,
+    fmt_si,
+    render_table,
+)
+
+
+class TestFormatting:
+    def test_si_scales(self):
+        assert fmt_si(3e9, "B/s") == "3 GB/s"
+        assert fmt_si(1.5e6) == "1.5 M"
+        assert fmt_si(0.002, "s") == "2 ms"
+        assert fmt_si(42) == "42"
+
+    def test_si_zero(self):
+        assert fmt_si(0, "B") == "0 B"
+
+    def test_bytes_and_seconds(self):
+        assert fmt_bytes(1024) == "1.02 KB"
+        assert fmt_seconds(0.15) == "150 ms"
+
+    def test_pct(self):
+        assert fmt_pct(0.051) == "5.10%"
+        assert fmt_pct(1.2, digits=0) == "120%"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+        # all rows same width
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_banner(self):
+        text = banner("Fig 1", "something")
+        assert "[Fig 1] something" in text
+
+
+class TestEmit:
+    def test_writes_results_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = emit("unit_test_fig", "hello table")
+        assert path.read_text() == "hello table\n"
+        assert "hello table" in capsys.readouterr().out
+
+    def test_results_dir_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "r"))
+        assert results_dir() == tmp_path / "r"
+        assert (tmp_path / "r").is_dir()

@@ -1,0 +1,256 @@
+"""Tests for §VI features: reduced receivers, external triggers, WAF."""
+
+import numpy as np
+import pytest
+
+from repro.core.carp import CarpRun
+from repro.core.config import CarpOptions
+from repro.core.records import RecordBatch
+from repro.core.triggers import TriggerReason
+from repro.query.engine import PartitionedStore
+from repro.storage.log import list_logs
+
+OPTS = CarpOptions(
+    pivot_count=32, oob_capacity=32, renegotiations_per_epoch=3,
+    memtable_records=256, round_records=128, value_size=8,
+)
+
+
+def uniform_streams(nranks, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        RecordBatch.from_keys(rng.random(n).astype(np.float32), rank=r,
+                              value_size=8)
+        for r in range(nranks)
+    ]
+
+
+class TestReducedReceivers:
+    def test_fewer_output_files(self, tmp_path):
+        with CarpRun(8, tmp_path, OPTS, nreceivers=2) as run:
+            run.ingest_epoch(0, uniform_streams(8, 400))
+        assert len(list_logs(tmp_path)) == 2
+
+    def test_all_records_stored(self, tmp_path):
+        with CarpRun(8, tmp_path, OPTS, nreceivers=3) as run:
+            stats = run.ingest_epoch(0, uniform_streams(8, 400))
+        with PartitionedStore(tmp_path) as store:
+            assert store.total_records(0) == stats.records == 3200
+
+    def test_partition_loads_sized_by_receivers(self, tmp_path):
+        with CarpRun(8, tmp_path, OPTS, nreceivers=4) as run:
+            stats = run.ingest_epoch(0, uniform_streams(8, 400))
+        assert len(stats.partition_loads) == 4
+        assert stats.partition_loads.sum() == 3200
+
+    def test_queries_still_correct(self, tmp_path):
+        streams = uniform_streams(8, 400, seed=4)
+        keys = np.concatenate([s.keys for s in streams])
+        rids = np.concatenate([s.rids for s in streams])
+        with CarpRun(8, tmp_path, OPTS, nreceivers=2) as run:
+            run.ingest_epoch(0, streams)
+        with PartitionedStore(tmp_path) as store:
+            res = store.query(0, 0.25, 0.75)
+            mask = (keys >= 0.25) & (keys <= 0.75)
+            assert set(res.rids.tolist()) == set(rids[mask].tolist())
+
+    def test_balance_across_receivers(self, tmp_path):
+        with CarpRun(16, tmp_path, OPTS.with_(pivot_count=128),
+                     nreceivers=4) as run:
+            stats = run.ingest_epoch(0, uniform_streams(16, 1000))
+        assert stats.load_stddev < 0.1
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="nreceivers"):
+            CarpRun(4, tmp_path, OPTS, nreceivers=5)
+        with pytest.raises(ValueError, match="nreceivers"):
+            CarpRun(4, tmp_path, OPTS, nreceivers=0)
+
+    def test_single_receiver_degenerate(self, tmp_path):
+        with CarpRun(4, tmp_path, OPTS, nreceivers=1) as run:
+            stats = run.ingest_epoch(0, uniform_streams(4, 200))
+        assert len(list_logs(tmp_path)) == 1
+        assert stats.partition_loads.tolist() == [800]
+
+
+class TestExternalTrigger:
+    def test_fires_at_next_round(self, tmp_path):
+        with CarpRun(4, tmp_path, OPTS.with_(renegotiations_per_epoch=1)) as run:
+            # queue the hint before ingest; it fires once a table exists
+            run.request_renegotiation()
+            stats = run.ingest_epoch(0, uniform_streams(4, 800))
+        assert stats.triggers.count(TriggerReason.EXTERNAL) == 1
+
+    def test_no_hint_no_external(self, tmp_path):
+        with CarpRun(4, tmp_path, OPTS) as run:
+            stats = run.ingest_epoch(0, uniform_streams(4, 800))
+        assert stats.triggers.count(TriggerReason.EXTERNAL) == 0
+
+    def test_hint_consumed_once(self, tmp_path):
+        with CarpRun(4, tmp_path, OPTS.with_(renegotiations_per_epoch=1)) as run:
+            run.request_renegotiation()
+            s0 = run.ingest_epoch(0, uniform_streams(4, 800, seed=0))
+            s1 = run.ingest_epoch(1, uniform_streams(4, 800, seed=1))
+        assert s0.triggers.count(TriggerReason.EXTERNAL) == 1
+        assert s1.triggers.count(TriggerReason.EXTERNAL) == 0
+
+
+class TestWriteAmplification:
+    def test_waf_near_one(self, tmp_path):
+        """CARP's core design constraint: data is written exactly once;
+        only SST headers/manifests add overhead."""
+        with CarpRun(4, tmp_path, OPTS) as run:
+            run.ingest_epoch(0, uniform_streams(4, 2000))
+            waf = run.write_amplification()
+        assert 1.0 <= waf < 1.2
+
+    def test_waf_zero_before_ingest(self, tmp_path):
+        with CarpRun(4, tmp_path, OPTS) as run:
+            assert run.write_amplification() == 0.0
+
+    def test_waf_far_below_lsm(self, tmp_path):
+        """CARP vs an online index: the motivating §III comparison."""
+        from repro.baselines.lsm import LSMTree
+
+        streams = uniform_streams(4, 4000)
+        with CarpRun(4, tmp_path, OPTS) as run:
+            run.ingest_epoch(0, streams)
+            carp_waf = run.write_amplification()
+        tree = LSMTree(sst_records=256, level0_ssts=2, growth_factor=3,
+                       value_size=8)
+        for s in streams:
+            tree.insert(s)
+        tree.flush()
+        assert tree.stats.write_amplification > 2 * carp_waf
+
+
+class TestWarmStart:
+    def test_warm_start_skips_bootstrap(self, tmp_path):
+        opts = OPTS.with_(warm_start=True)
+        with CarpRun(4, tmp_path, opts) as run:
+            s0 = run.ingest_epoch(0, uniform_streams(4, 800, seed=0))
+            s1 = run.ingest_epoch(1, uniform_streams(4, 800, seed=1))
+        assert s0.triggers.count(TriggerReason.BOOTSTRAP) >= 1
+        assert s1.triggers.count(TriggerReason.BOOTSTRAP) == 0
+
+    def test_warm_start_first_epoch_still_bootstraps(self, tmp_path):
+        with CarpRun(4, tmp_path, OPTS.with_(warm_start=True)) as run:
+            stats = run.ingest_epoch(0, uniform_streams(4, 400))
+        assert stats.triggers.count(TriggerReason.BOOTSTRAP) >= 1
+
+    def test_warm_start_no_records_lost(self, tmp_path):
+        opts = OPTS.with_(warm_start=True)
+        with CarpRun(4, tmp_path, opts) as run:
+            run.ingest_epoch(0, uniform_streams(4, 500, seed=0))
+            s1 = run.ingest_epoch(1, uniform_streams(4, 500, seed=1))
+        with PartitionedStore(tmp_path) as store:
+            assert store.total_records(1) == s1.records == 2000
+
+    def test_warm_start_handles_keyspace_shift(self, tmp_path):
+        """A later epoch entirely outside the warm table's bounds must
+        still be ingested (via OOB extension renegotiations)."""
+        opts = OPTS.with_(warm_start=True)
+        with CarpRun(4, tmp_path, opts) as run:
+            run.ingest_epoch(0, uniform_streams(4, 500, seed=0))
+            rng = np.random.default_rng(9)
+            shifted = [
+                RecordBatch.from_keys(
+                    (rng.random(500) + 100.0).astype(np.float32), rank=r,
+                    value_size=8,
+                )
+                for r in range(4)
+            ]
+            s1 = run.ingest_epoch(1, shifted)
+        with PartitionedStore(tmp_path) as store:
+            assert store.total_records(1) == 2000
+        assert s1.triggers.count(TriggerReason.OOB_FULL) >= 1
+
+    def test_warm_start_on_stationary_workload_balances_immediately(
+        self, tmp_path
+    ):
+        """Stationary data: the inherited table is already right, so the
+        epoch starts balanced (no cold-start imbalance)."""
+        opts = OPTS.with_(warm_start=True, pivot_count=256)
+        cold_opts = OPTS.with_(pivot_count=256)
+        with CarpRun(8, tmp_path / "warm", opts) as run:
+            run.ingest_epoch(0, uniform_streams(8, 1500, seed=0))
+            warm = run.ingest_epoch(1, uniform_streams(8, 1500, seed=1))
+        with CarpRun(8, tmp_path / "cold", cold_opts) as run:
+            run.ingest_epoch(0, uniform_streams(8, 1500, seed=0))
+            cold = run.ingest_epoch(1, uniform_streams(8, 1500, seed=1))
+        assert warm.load_stddev <= cold.load_stddev + 0.02
+
+
+class TestTableHistory:
+    def test_history_matches_renegotiations(self, tmp_path):
+        with CarpRun(4, tmp_path, OPTS) as run:
+            stats = run.ingest_epoch(0, uniform_streams(4, 800))
+        assert len(stats.table_history) == stats.renegotiations
+        assert stats.table_history[-1] is stats.final_table
+
+    def test_versions_strictly_increase(self, tmp_path):
+        with CarpRun(4, tmp_path, OPTS) as run:
+            stats = run.ingest_epoch(0, uniform_streams(4, 800))
+        versions = [t.version for t in stats.table_history]
+        assert versions == sorted(versions)
+        assert len(set(versions)) == len(versions)
+
+    def test_boundary_drift_small_for_stationary(self, tmp_path):
+        with CarpRun(4, tmp_path, OPTS.with_(pivot_count=256)) as run:
+            stats = run.ingest_epoch(0, uniform_streams(4, 3000))
+        drift = stats.boundary_drift()
+        assert len(drift) == stats.renegotiations - 1
+        # after bootstrap, stationary data keeps boundaries nearly still
+        if len(drift) > 1:
+            assert drift[1:].mean() < 0.1
+
+    def test_boundary_drift_large_under_distribution_shift(self, tmp_path):
+        rng = np.random.default_rng(3)
+        half = 1500
+        streams = [
+            RecordBatch.concat([
+                RecordBatch.from_keys(rng.random(half).astype(np.float32),
+                                      rank=r, value_size=8),
+                RecordBatch.from_keys(
+                    (rng.random(half) * 100 + 100).astype(np.float32),
+                    rank=r, start_seq=half, value_size=8),
+            ])
+            for r in range(4)
+        ]
+        with CarpRun(4, tmp_path, OPTS.with_(renegotiations_per_epoch=6)) as run:
+            stats = run.ingest_epoch(0, streams)
+        drift = stats.boundary_drift()
+        assert drift.max() > 0.2  # the mid-epoch jump is visible
+
+
+class TestRunManifest:
+    def test_manifest_written(self, tmp_path):
+        import json
+
+        with CarpRun(4, tmp_path, OPTS) as run:
+            run.ingest_epoch(0, uniform_streams(4, 400, seed=0))
+            run.ingest_epoch(1, uniform_streams(4, 400, seed=1))
+            path = run.write_run_manifest()
+        doc = json.loads(path.read_text())
+        assert doc["nranks"] == 4
+        assert len(doc["epochs"]) == 2
+        assert doc["epochs"][0]["records"] == 1600
+        assert doc["write_amplification"] >= 1.0
+        assert len(doc["epochs"][0]["final_bounds"]) == 5
+        assert doc["options"]["pivot_count"] == OPTS.pivot_count
+
+    def test_manifest_custom_path(self, tmp_path):
+        with CarpRun(2, tmp_path, OPTS) as run:
+            run.ingest_epoch(0, uniform_streams(2, 200))
+            path = run.write_run_manifest(tmp_path / "meta" / "run.json")
+        assert path.is_file()
+        assert path.parent.name == "meta"
+
+    def test_trigger_reasons_serialized(self, tmp_path):
+        import json
+
+        with CarpRun(2, tmp_path, OPTS) as run:
+            run.ingest_epoch(0, uniform_streams(2, 400))
+            doc = json.loads(run.write_run_manifest().read_text())
+        reasons = {t["reason"] for t in doc["epochs"][0]["triggers"]}
+        assert "bootstrap" in reasons

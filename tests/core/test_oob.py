@@ -1,0 +1,74 @@
+"""Unit tests for the Out-Of-Bounds buffer."""
+
+import numpy as np
+import pytest
+
+from repro.core.oob import OOBBuffer
+from repro.core.records import RecordBatch
+
+
+def batch(*keys, value_size=8):
+    return RecordBatch.from_keys(np.array(keys, dtype=np.float32),
+                                 value_size=value_size)
+
+
+class TestOOBBuffer:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            OOBBuffer(0, 8)
+
+    def test_add_within_capacity(self):
+        buf = OOBBuffer(4, 8)
+        overflow = buf.add(batch(1.0, 2.0))
+        assert len(overflow) == 0
+        assert len(buf) == 2
+        assert not buf.is_full
+
+    def test_fills_exactly(self):
+        buf = OOBBuffer(2, 8)
+        overflow = buf.add(batch(1.0, 2.0))
+        assert len(overflow) == 0
+        assert buf.is_full
+        assert buf.room == 0
+
+    def test_overflow_returned(self):
+        buf = OOBBuffer(2, 8)
+        overflow = buf.add(batch(1.0, 2.0, 3.0, 4.0))
+        assert len(buf) == 2
+        assert overflow.keys.tolist() == [3.0, 4.0]
+
+    def test_overflow_when_already_full(self):
+        buf = OOBBuffer(1, 8)
+        buf.add(batch(1.0))
+        overflow = buf.add(batch(2.0))
+        assert overflow.keys.tolist() == [2.0]
+
+    def test_keys_view(self):
+        buf = OOBBuffer(8, 8)
+        buf.add(batch(3.0))
+        buf.add(batch(1.0, 2.0))
+        assert sorted(buf.keys().tolist()) == [1.0, 2.0, 3.0]
+
+    def test_keys_empty(self):
+        assert len(OOBBuffer(4, 8).keys()) == 0
+
+    def test_drain_returns_all_and_empties(self):
+        buf = OOBBuffer(8, 8)
+        buf.add(batch(1.0, 2.0))
+        drained = buf.drain()
+        assert len(drained) == 2
+        assert len(buf) == 0
+        assert not buf.is_full
+
+    def test_drain_empty(self):
+        drained = OOBBuffer(4, 16).drain()
+        assert len(drained) == 0
+        assert drained.value_size == 16
+
+    def test_reuse_after_drain(self):
+        buf = OOBBuffer(2, 8)
+        buf.add(batch(1.0, 2.0))
+        buf.drain()
+        overflow = buf.add(batch(3.0))
+        assert len(overflow) == 0
+        assert buf.keys().tolist() == [3.0]

@@ -1,0 +1,187 @@
+"""Unit tests for partition tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.partition import OOB_DEST, PartitionTable, load_stddev
+
+
+def table(*bounds, version=0):
+    return PartitionTable(np.array(bounds, dtype=np.float64), version)
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = table(0.0, 1.0, 2.0)
+        assert t.nparts == 2
+        assert t.lo == 0.0 and t.hi == 2.0
+
+    def test_needs_two_bounds(self):
+        with pytest.raises(ValueError):
+            table(1.0)
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            table(0.0, 1.0, 1.0)
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            table(0.0, 2.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            table(0.0, np.nan, 1.0)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            table(0.0, np.inf)
+
+    def test_immutability(self):
+        t = table(0.0, 1.0)
+        with pytest.raises(Exception):
+            t.bounds = np.array([0.0, 2.0])
+
+    def test_from_quantile_points_spreads_duplicates(self):
+        t = PartitionTable.from_quantile_points(np.array([1.0, 1.0, 1.0, 2.0]))
+        assert t.nparts == 3
+        assert np.all(np.diff(t.bounds) > 0)
+
+    def test_from_quantile_points_needs_two(self):
+        with pytest.raises(ValueError):
+            PartitionTable.from_quantile_points(np.array([1.0]))
+
+    def test_with_version(self):
+        t = table(0.0, 1.0).with_version(5)
+        assert t.version == 5
+
+
+class TestLookup:
+    def test_interior_keys(self):
+        t = table(0.0, 1.0, 2.0, 3.0)
+        assert t.lookup(np.array([0.5, 1.5, 2.5])).tolist() == [0, 1, 2]
+
+    def test_lower_bound_inclusive(self):
+        t = table(0.0, 1.0, 2.0)
+        assert t.lookup(np.array([0.0, 1.0])).tolist() == [0, 1]
+
+    def test_upper_bound_owned_by_last(self):
+        t = table(0.0, 1.0, 2.0)
+        assert t.lookup(np.array([2.0])).tolist() == [1]
+
+    def test_oob_below(self):
+        t = table(0.0, 1.0)
+        assert t.lookup(np.array([-0.1]))[0] == OOB_DEST
+
+    def test_oob_above(self):
+        t = table(0.0, 1.0)
+        assert t.lookup(np.array([1.0001]))[0] == OOB_DEST
+
+    def test_mixed(self):
+        t = table(0.0, 1.0, 2.0)
+        dests = t.lookup(np.array([-1.0, 0.5, 3.0, 1.5]))
+        assert dests.tolist() == [OOB_DEST, 0, OOB_DEST, 1]
+
+    def test_empty_input(self):
+        t = table(0.0, 1.0)
+        assert len(t.lookup(np.array([]))) == 0
+
+    @given(st.lists(st.floats(-10, 10, allow_nan=False), max_size=50))
+    def test_lookup_total(self, values):
+        """Every key gets either a valid partition or OOB_DEST."""
+        t = table(-1.0, 0.0, 1.0, 2.0)
+        keys = np.array(values, dtype=np.float64)
+        dests = t.lookup(keys)
+        assert np.all((dests == OOB_DEST) | ((dests >= 0) & (dests < t.nparts)))
+        # in-bounds keys are never OOB
+        in_bounds = (keys >= t.lo) & (keys <= t.hi)
+        assert np.all(dests[in_bounds] != OOB_DEST)
+
+
+class TestOwnership:
+    def test_owns(self):
+        t = table(0.0, 1.0, 2.0)
+        assert t.owns(0) == (0.0, 1.0)
+        assert t.owns(1) == (1.0, 2.0)
+
+    def test_owns_out_of_range(self):
+        with pytest.raises(IndexError):
+            table(0.0, 1.0).owns(1)
+
+    def test_contains_half_open(self):
+        t = table(0.0, 1.0, 2.0)
+        keys = np.array([0.0, 0.999, 1.0])
+        assert t.contains(0, keys).tolist() == [True, True, False]
+
+    def test_contains_last_closed(self):
+        t = table(0.0, 1.0, 2.0)
+        assert t.contains(1, np.array([2.0])).tolist() == [True]
+
+    def test_partitions_cover_keyspace_exactly_once(self):
+        t = table(0.0, 0.5, 1.5, 3.0)
+        keys = np.linspace(0.0, 3.0, 101)
+        owners = np.zeros(len(keys), dtype=int)
+        for p in range(t.nparts):
+            owners += t.contains(p, keys).astype(int)
+        assert np.all(owners == 1)
+
+
+class TestOverlapping:
+    def test_single_partition(self):
+        t = table(0.0, 1.0, 2.0, 3.0)
+        assert t.overlapping(1.2, 1.8).tolist() == [1]
+
+    def test_spanning(self):
+        t = table(0.0, 1.0, 2.0, 3.0)
+        assert t.overlapping(0.5, 2.5).tolist() == [0, 1, 2]
+
+    def test_outside_returns_empty(self):
+        t = table(0.0, 1.0)
+        assert len(t.overlapping(5.0, 6.0)) == 0
+        assert len(t.overlapping(-3.0, -2.0)) == 0
+
+    def test_clamps_to_edges(self):
+        t = table(0.0, 1.0, 2.0)
+        assert t.overlapping(-5.0, 10.0).tolist() == [0, 1]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            table(0.0, 1.0).overlapping(1.0, 0.5)
+
+    def test_point_query(self):
+        t = table(0.0, 1.0, 2.0)
+        assert t.overlapping(0.5, 0.5).tolist() == [0]
+
+
+class TestLoadCounts:
+    def test_counts(self):
+        t = table(0.0, 1.0, 2.0)
+        counts = t.load_counts(np.array([0.1, 0.2, 1.5]))
+        assert counts.tolist() == [2, 1]
+
+    def test_ignores_oob(self):
+        t = table(0.0, 1.0)
+        counts = t.load_counts(np.array([-1.0, 0.5, 9.0]))
+        assert counts.tolist() == [1]
+
+
+class TestLoadStddev:
+    def test_perfect_balance(self):
+        assert load_stddev(np.array([10, 10, 10])) == 0.0
+
+    def test_normalized(self):
+        # std of [0, 20] = 10, mean = 10 -> 1.0
+        assert load_stddev(np.array([0, 20])) == pytest.approx(1.0)
+
+    def test_unnormalized(self):
+        assert load_stddev(np.array([0, 20]), normalized=False) == pytest.approx(10.0)
+
+    def test_empty(self):
+        assert load_stddev(np.array([])) == 0.0
+
+    def test_all_zero(self):
+        assert load_stddev(np.array([0, 0])) == 0.0
+
+    def test_scale_invariance_of_normalized(self):
+        a = np.array([5, 10, 15])
+        assert load_stddev(a) == pytest.approx(load_stddev(a * 1000))

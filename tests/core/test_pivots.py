@@ -1,0 +1,264 @@
+"""Unit + property tests for the summary-statistics primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pivots import (
+    Pivots,
+    WeightedCDF,
+    partition_bounds_from_pivots,
+    pivot_union,
+    pivots_from_cdf,
+    pivots_from_histogram,
+)
+
+
+class TestWeightedCDF:
+    def test_from_histogram(self):
+        cdf = WeightedCDF.from_histogram(np.array([0.0, 1.0, 2.0]), np.array([3, 1]))
+        assert cdf.total == 4.0
+        assert cdf.evaluate(np.array([0.0, 1.0, 2.0])).tolist() == [0.0, 3.0, 4.0]
+
+    def test_linear_within_bins(self):
+        cdf = WeightedCDF.from_histogram(np.array([0.0, 2.0]), np.array([4]))
+        assert cdf.evaluate(np.array([1.0]))[0] == pytest.approx(2.0)
+
+    def test_from_histogram_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            WeightedCDF.from_histogram(np.array([0.0, 1.0]), np.array([1, 2]))
+
+    def test_from_histogram_negative_counts(self):
+        with pytest.raises(ValueError):
+            WeightedCDF.from_histogram(np.array([0.0, 1.0]), np.array([-1]))
+
+    def test_from_samples(self):
+        cdf = WeightedCDF.from_samples(np.array([1.0, 2.0, 2.0, 5.0]))
+        assert cdf.total == 4.0
+        assert cdf.evaluate(np.array([2.0]))[0] == pytest.approx(3.0)
+
+    def test_from_samples_empty(self):
+        with pytest.raises(ValueError):
+            WeightedCDF.from_samples(np.array([]))
+
+    def test_evaluate_clamps(self):
+        cdf = WeightedCDF.from_samples(np.array([1.0, 2.0]))
+        assert cdf.evaluate(np.array([-10.0]))[0] == 0.0
+        assert cdf.evaluate(np.array([10.0]))[0] == cdf.total
+
+    def test_quantiles_inverts(self):
+        cdf = WeightedCDF.from_histogram(np.array([0.0, 1.0, 2.0]), np.array([2, 2]))
+        qs = cdf.quantiles(np.array([0.0, 2.0, 4.0]))
+        assert qs.tolist() == [0.0, 1.0, 2.0]
+
+    def test_quantiles_single_point(self):
+        cdf = WeightedCDF(np.array([3.0]), np.array([5.0]))
+        assert cdf.quantiles(np.array([0.0, 2.5, 5.0])).tolist() == [3.0, 3.0, 3.0]
+
+    def test_quantiles_skip_plateaus(self):
+        # middle bin empty: quantiles never land strictly inside it
+        cdf = WeightedCDF.from_histogram(
+            np.array([0.0, 1.0, 2.0, 3.0]), np.array([2, 0, 2])
+        )
+        q = cdf.quantiles(np.array([2.0]))
+        assert q[0] <= 1.0 or q[0] >= 2.0
+
+    def test_sum_two(self):
+        a = WeightedCDF.from_histogram(np.array([0.0, 1.0]), np.array([2]))
+        b = WeightedCDF.from_histogram(np.array([0.5, 1.5]), np.array([2]))
+        s = WeightedCDF.sum([a, b])
+        assert s.total == 4.0
+        assert s.evaluate(np.array([1.0]))[0] == pytest.approx(2.0 + 1.0)
+
+    def test_sum_skips_empty(self):
+        a = WeightedCDF.from_histogram(np.array([0.0, 1.0]), np.array([2]))
+        empty = WeightedCDF.from_histogram(np.array([0.0, 1.0]), np.array([0]))
+        s = WeightedCDF.sum([a, empty])
+        assert s.total == 2.0
+
+    def test_sum_all_empty_rejected(self):
+        empty = WeightedCDF.from_histogram(np.array([0.0, 1.0]), np.array([0]))
+        with pytest.raises(ValueError):
+            WeightedCDF.sum([empty])
+
+    def test_rejects_decreasing_x(self):
+        with pytest.raises(ValueError):
+            WeightedCDF(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+
+    def test_rejects_decreasing_cw(self):
+        with pytest.raises(ValueError):
+            WeightedCDF(np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+
+
+class TestPivots:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            Pivots(np.array([1.0]), 1.0)
+
+    def test_width(self):
+        p = Pivots(np.array([0.0, 1.0, 2.0]), 10.0)
+        assert p.width == 3
+
+    def test_as_cdf_equal_mass(self):
+        p = Pivots(np.array([0.0, 1.0, 4.0]), 10.0)
+        cdf = p.as_cdf()
+        assert cdf.evaluate(np.array([1.0]))[0] == pytest.approx(5.0)
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            Pivots(np.array([1.0, 0.0]), 1.0)
+
+
+class TestPivotsFromHistogram:
+    def test_uniform_histogram(self):
+        edges = np.linspace(0, 10, 11)
+        counts = np.full(10, 100)
+        p = pivots_from_histogram(edges, counts, width=5)
+        assert p is not None
+        assert p.count == 1000
+        # equal mass under uniform => equally spaced points
+        assert np.allclose(p.points, np.linspace(0, 10, 5))
+
+    def test_skewed_histogram_concentrates_pivots(self):
+        edges = np.array([0.0, 1.0, 10.0])
+        counts = np.array([900, 100])
+        p = pivots_from_histogram(edges, counts, width=11)
+        assert p is not None
+        # most pivots land in the dense [0, 1) region
+        assert np.count_nonzero(p.points <= 1.0) >= 8
+
+    def test_oob_keys_extend_range(self):
+        edges = np.array([0.0, 1.0])
+        counts = np.array([10])
+        p = pivots_from_histogram(edges, counts, width=4,
+                                  oob_keys=np.array([5.0, 6.0]))
+        assert p is not None
+        assert p.points[-1] == pytest.approx(6.0)
+        assert p.count == 12
+
+    def test_oob_only(self):
+        p = pivots_from_histogram(None, None, width=3, oob_keys=np.array([1.0, 2.0]))
+        assert p is not None
+        assert p.count == 2.0
+
+    def test_nothing_observed_returns_none(self):
+        assert pivots_from_histogram(None, None, width=4) is None
+        assert pivots_from_histogram(
+            np.array([0.0, 1.0]), np.array([0]), width=4
+        ) is None
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            pivots_from_cdf(WeightedCDF.from_samples(np.array([1.0])), width=1)
+
+    def test_single_key_degenerate(self):
+        p = pivots_from_histogram(None, None, width=4,
+                                  oob_keys=np.array([3.0, 3.0, 3.0]))
+        assert p is not None
+        assert np.all(p.points == 3.0)
+
+    @given(
+        counts=st.lists(st.integers(0, 1000), min_size=2, max_size=20),
+        width=st.integers(2, 64),
+    )
+    @settings(max_examples=50)
+    def test_equal_mass_property(self, counts, width):
+        """Consecutive pivots delimit (approximately) equal histogram mass."""
+        counts = np.array(counts)
+        if counts.sum() == 0:
+            return
+        edges = np.linspace(0.0, 1.0, len(counts) + 1)
+        p = pivots_from_histogram(edges, counts, width)
+        assert p is not None
+        cdf = WeightedCDF.from_histogram(edges, counts)
+        masses = cdf.evaluate(p.points)
+        target = np.linspace(0, counts.sum(), width)
+        # equality is exact up to interpolation over zero-mass plateaus
+        assert np.all(np.abs(masses - target) <= counts.sum() * 1e-9 + 1e-6)
+
+
+class TestPivotUnion:
+    def test_mass_conserved(self):
+        a = Pivots(np.array([0.0, 1.0]), 10.0)
+        b = Pivots(np.array([5.0, 6.0]), 30.0)
+        merged = pivot_union([a, b], width=8)
+        assert merged.count == pytest.approx(40.0)
+
+    def test_covers_full_range(self):
+        a = Pivots(np.array([0.0, 1.0]), 10.0)
+        b = Pivots(np.array([5.0, 6.0]), 10.0)
+        merged = pivot_union([a, b], width=8)
+        assert merged.points[0] == pytest.approx(0.0)
+        assert merged.points[-1] == pytest.approx(6.0)
+
+    def test_skips_none(self):
+        a = Pivots(np.array([0.0, 1.0]), 10.0)
+        merged = pivot_union([None, a, None], width=4)
+        assert merged.count == pytest.approx(10.0)
+
+    def test_all_none_rejected(self):
+        with pytest.raises(ValueError):
+            pivot_union([None, None], width=4)
+
+    def test_commutative(self):
+        a = Pivots(np.array([0.0, 1.0, 2.0]), 10.0)
+        b = Pivots(np.array([1.5, 3.0]), 20.0)
+        m1 = pivot_union([a, b], width=16)
+        m2 = pivot_union([b, a], width=16)
+        assert np.allclose(m1.points, m2.points)
+
+    def test_associative_up_to_resampling(self):
+        """((a+b)+c) ~ (a+(b+c)): lossy but close for generous widths."""
+        rng = np.random.default_rng(0)
+        piv = [
+            pivots_from_histogram(None, None, 64, oob_keys=rng.lognormal(size=500))
+            for _ in range(3)
+        ]
+        left = pivot_union([pivot_union(piv[:2], 64), piv[2]], 64)
+        right = pivot_union([piv[0], pivot_union(piv[1:], 64)], 64)
+        assert left.count == pytest.approx(right.count)
+        assert np.allclose(left.points, right.points, rtol=0.05, atol=0.05)
+
+    def test_union_weights_by_mass(self):
+        """A heavier pivot set dominates the merged quantiles."""
+        light = Pivots(np.array([0.0, 1.0]), 1.0)
+        heavy = Pivots(np.array([10.0, 11.0]), 99.0)
+        merged = pivot_union([light, heavy], width=101)
+        # ~99% of merged pivot points lie in the heavy range
+        assert np.count_nonzero(merged.points >= 10.0) >= 95
+
+
+class TestPartitionBounds:
+    def test_bounds_count(self):
+        p = Pivots(np.linspace(0, 1, 9), 100.0)
+        bounds = partition_bounds_from_pivots(p, nparts=4)
+        assert len(bounds) == 5
+
+    def test_bounds_cover_pivot_range(self):
+        p = Pivots(np.linspace(2, 7, 9), 100.0)
+        bounds = partition_bounds_from_pivots(p, nparts=4)
+        assert bounds[0] == pytest.approx(2.0)
+        assert bounds[-1] == pytest.approx(7.0)
+
+    def test_uniform_distribution_equal_widths(self):
+        p = Pivots(np.linspace(0, 1, 65), 1000.0)
+        bounds = partition_bounds_from_pivots(p, nparts=8)
+        assert np.allclose(np.diff(bounds), 0.125, atol=1e-9)
+
+    def test_nparts_validation(self):
+        p = Pivots(np.array([0.0, 1.0]), 1.0)
+        with pytest.raises(ValueError):
+            partition_bounds_from_pivots(p, 0)
+
+    @given(st.lists(st.floats(0, 100, allow_nan=False), min_size=8, max_size=200),
+           st.integers(2, 16))
+    @settings(max_examples=50)
+    def test_balanced_partitions_property(self, values, nparts):
+        """Bounds from exact sample pivots produce balanced partitions."""
+        keys = np.array(values)
+        piv = pivots_from_histogram(None, None, width=256, oob_keys=keys)
+        assert piv is not None
+        bounds = partition_bounds_from_pivots(piv, nparts)
+        assert np.all(np.diff(bounds) >= 0)
+        assert bounds[0] <= keys.min() + 1e-9
+        assert bounds[-1] >= keys.max() - 1e-9

@@ -1,0 +1,195 @@
+"""Tests for the reservoir-sampling statistics backend."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.carp import CarpRun
+from repro.core.config import CarpOptions
+from repro.core.records import RecordBatch
+from repro.core.sampling import ReservoirSampler
+
+
+class TestReservoirSampler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(1)
+
+    def test_fills_first(self):
+        r = ReservoirSampler(10)
+        r.observe(np.arange(5, dtype=float))
+        assert len(r.sample()) == 5
+        assert r.seen == 5
+
+    def test_capacity_respected(self):
+        r = ReservoirSampler(10)
+        r.observe(np.arange(1000, dtype=float))
+        assert len(r.sample()) == 10
+        assert r.seen == 1000
+
+    def test_sample_from_stream(self):
+        r = ReservoirSampler(50, seed=1)
+        r.observe(np.arange(5000, dtype=float))
+        s = r.sample()
+        assert np.all((s >= 0) & (s < 5000))
+
+    def test_uniformity(self):
+        """The mean of many reservoirs tracks the stream mean."""
+        means = []
+        for seed in range(40):
+            r = ReservoirSampler(64, seed=seed)
+            r.observe(np.arange(10_000, dtype=float))
+            means.append(r.sample().mean())
+        assert np.mean(means) == pytest.approx(4999.5, rel=0.05)
+
+    def test_reset(self):
+        r = ReservoirSampler(8)
+        r.observe(np.arange(100, dtype=float))
+        r.reset()
+        assert r.is_empty
+        assert r.seen == 0
+
+    def test_incremental_equivalent_to_bulk_in_count(self):
+        a = ReservoirSampler(16, seed=0)
+        a.observe(np.arange(1000, dtype=float))
+        b = ReservoirSampler(16, seed=0)
+        for i in range(0, 1000, 100):
+            b.observe(np.arange(i, i + 100, dtype=float))
+        assert a.seen == b.seen == 1000
+        assert len(a.sample()) == len(b.sample()) == 16
+
+    def test_pivots_weighting(self):
+        """Pivots represent the full stream's mass, not just the
+        reservoir's size."""
+        r = ReservoirSampler(32, seed=2)
+        r.observe(np.random.default_rng(0).random(5000))
+        p = r.compute_pivots(16)
+        assert p is not None
+        assert p.count == pytest.approx(5000, rel=0.01)
+
+    def test_pivots_with_oob(self):
+        r = ReservoirSampler(32, seed=3)
+        r.observe(np.random.default_rng(0).random(500))
+        p = r.compute_pivots(8, oob_keys=np.array([10.0, 11.0]))
+        assert p is not None
+        assert p.points[-1] == pytest.approx(11.0)
+        assert p.count == pytest.approx(502, rel=0.01)
+
+    def test_empty_pivots_none(self):
+        assert ReservoirSampler(8).compute_pivots(4) is None
+
+    @given(chunks=st.lists(st.integers(0, 300), min_size=1, max_size=10),
+           cap=st.integers(2, 64))
+    @settings(max_examples=40)
+    def test_invariants_property(self, chunks, cap):
+        r = ReservoirSampler(cap, seed=7)
+        total = 0
+        rng = np.random.default_rng(0)
+        for n in chunks:
+            r.observe(rng.random(n))
+            total += n
+        assert r.seen == total
+        assert len(r.sample()) == min(total, cap)
+
+
+class TestReservoirBackendEndToEnd:
+    OPTS = CarpOptions(
+        pivot_count=32, oob_capacity=32, renegotiations_per_epoch=3,
+        memtable_records=256, round_records=128, value_size=8,
+        stats_backend="reservoir", reservoir_capacity=256,
+    )
+
+    def _streams(self, nranks=4, n=800, seed=0):
+        rng = np.random.default_rng(seed)
+        return [
+            RecordBatch.from_keys(
+                rng.lognormal(size=n).astype(np.float32), rank=r, value_size=8
+            )
+            for r in range(nranks)
+        ]
+
+    def test_backend_validation(self):
+        with pytest.raises(ValueError, match="stats_backend"):
+            CarpOptions(stats_backend="magic")
+        with pytest.raises(ValueError, match="reservoir_capacity"):
+            CarpOptions(reservoir_capacity=1)
+
+    def test_all_records_stored(self, tmp_path):
+        from repro.query.engine import PartitionedStore
+
+        with CarpRun(4, tmp_path, self.OPTS) as run:
+            stats = run.ingest_epoch(0, self._streams())
+        with PartitionedStore(tmp_path) as store:
+            assert store.total_records(0) == stats.records
+
+    def test_balanced_partitions(self, tmp_path):
+        with CarpRun(8, tmp_path, self.OPTS) as run:
+            stats = run.ingest_epoch(0, self._streams(8, 2000))
+        assert stats.load_stddev < 0.25
+
+    def test_queries_correct(self, tmp_path):
+        from repro.core.records import range_mask
+        from repro.query.engine import PartitionedStore
+
+        streams = self._streams(seed=5)
+        keys = np.concatenate([s.keys for s in streams])
+        rids = np.concatenate([s.rids for s in streams])
+        with CarpRun(4, tmp_path, self.OPTS) as run:
+            run.ingest_epoch(0, streams)
+        with PartitionedStore(tmp_path) as store:
+            res = store.query(0, 0.5, 2.0)
+        assert set(res.rids.tolist()) == set(
+            rids[range_mask(keys, 0.5, 2.0)].tolist()
+        )
+
+
+class TestBiasedReservoir:
+    def test_validation(self):
+        from repro.core.sampling import BiasedReservoirSampler
+
+        with pytest.raises(ValueError):
+            BiasedReservoirSampler(8, replace_prob=0.0)
+        with pytest.raises(ValueError):
+            BiasedReservoirSampler(8, replace_prob=1.5)
+
+    def test_recency_bias(self):
+        """After a distribution jump, the biased reservoir forgets the
+        old regime far faster than the uniform one."""
+        from repro.core.sampling import BiasedReservoirSampler
+
+        uniform = ReservoirSampler(128, seed=0)
+        biased = BiasedReservoirSampler(128, seed=0)
+        old = np.zeros(4000)
+        new = np.ones(2000)
+        for r in (uniform, biased):
+            r.observe(old)
+            r.observe(new)
+        assert np.mean(biased.sample()) > 0.9
+        assert np.mean(uniform.sample()) < 0.6
+
+    def test_capacity_and_seen(self):
+        from repro.core.sampling import BiasedReservoirSampler
+
+        r = BiasedReservoirSampler(16)
+        r.observe(np.arange(1000, dtype=float))
+        assert len(r.sample()) == 16
+        assert r.seen == 1000
+
+    def test_end_to_end_backend(self, tmp_path):
+        from repro.query.engine import PartitionedStore
+
+        opts = CarpOptions(
+            pivot_count=32, oob_capacity=32, renegotiations_per_epoch=3,
+            memtable_records=256, round_records=128, value_size=8,
+            stats_backend="recency_reservoir", reservoir_capacity=256,
+        )
+        rng = np.random.default_rng(0)
+        streams = [
+            RecordBatch.from_keys(rng.random(600).astype(np.float32),
+                                  rank=r, value_size=8)
+            for r in range(4)
+        ]
+        with CarpRun(4, tmp_path, opts) as run:
+            stats = run.ingest_epoch(0, streams)
+        with PartitionedStore(tmp_path) as store:
+            assert store.total_records(0) == stats.records

@@ -1,0 +1,71 @@
+"""Unit tests for renegotiation triggers."""
+
+import pytest
+
+from repro.core.triggers import PeriodicTrigger, TriggerLog, TriggerReason
+
+
+class TestPeriodicTrigger:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicTrigger(0)
+        with pytest.raises(ValueError):
+            PeriodicTrigger.per_epoch(100, 0)
+
+    def test_fires_at_interval(self):
+        t = PeriodicTrigger(100)
+        assert not t.advance(99)
+        assert t.advance(1)
+
+    def test_accumulates_across_calls(self):
+        t = PeriodicTrigger(10)
+        assert not t.advance(4)
+        assert not t.advance(4)
+        assert t.advance(4)
+
+    def test_reset(self):
+        t = PeriodicTrigger(10)
+        t.advance(10)
+        t.reset()
+        assert t.records_since_last == 0
+        assert not t.advance(9)
+
+    def test_per_epoch_interval(self):
+        t = PeriodicTrigger.per_epoch(epoch_records=1000, times_per_epoch=4)
+        assert t.interval_records == 250
+
+    def test_per_epoch_minimum_interval(self):
+        t = PeriodicTrigger.per_epoch(epoch_records=2, times_per_epoch=10)
+        assert t.interval_records == 1
+
+    def test_negative_records_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicTrigger(10).advance(-1)
+
+    def test_fires_repeatedly_with_reset(self):
+        t = PeriodicTrigger(5)
+        fires = 0
+        for _ in range(20):
+            if t.advance(1):
+                fires += 1
+                t.reset()
+        assert fires == 4
+
+
+class TestTriggerLog:
+    def test_record_and_count(self):
+        log = TriggerLog()
+        log.record(0, TriggerReason.BOOTSTRAP)
+        log.record(3, TriggerReason.PERIODIC)
+        log.record(5, TriggerReason.PERIODIC)
+        assert log.count() == 3
+        assert log.count(TriggerReason.PERIODIC) == 2
+        assert log.count(TriggerReason.OOB_FULL) == 0
+
+    def test_events_preserve_order(self):
+        log = TriggerLog()
+        log.record(1, TriggerReason.OOB_FULL)
+        log.record(2, TriggerReason.PERIODIC)
+        assert [r for _, r in log.events] == [
+            TriggerReason.OOB_FULL, TriggerReason.PERIODIC
+        ]

@@ -1,0 +1,97 @@
+"""Tests for query-path incremental sorting (§VIII)."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.incremental_sort import IncrementalSorter, IntervalSet
+
+
+class TestIntervalSet:
+    def test_covering(self):
+        s = IntervalSet()
+        s.add(0.0, 1.0)
+        assert s.covering(0.2, 0.8) is not None
+        assert s.covering(0.5, 1.5) is None
+
+    def test_coalescing(self):
+        s = IntervalSet()
+        s.add(0.0, 1.0)
+        s.add(0.5, 2.0)
+        assert len(s) == 1
+        assert s.covering(0.0, 2.0) is not None
+
+    def test_disjoint_intervals_kept_separate(self):
+        s = IntervalSet()
+        s.add(0.0, 1.0)
+        s.add(5.0, 6.0)
+        assert len(s) == 2
+        assert s.covering(1.5, 4.0) is None
+
+    def test_coverage_fraction(self):
+        s = IntervalSet()
+        s.add(0.0, 1.0)
+        assert s.coverage_fraction(0.0, 2.0) == pytest.approx(0.5)
+        assert s.coverage_fraction(0.0, 1.0) == pytest.approx(1.0)
+        assert s.coverage_fraction(3.0, 4.0) == 0.0
+
+    def test_triple_merge(self):
+        s = IntervalSet()
+        s.add(0.0, 1.0)
+        s.add(2.0, 3.0)
+        s.add(0.5, 2.5)
+        assert len(s) == 1
+
+
+class TestIncrementalSorter:
+    @pytest.fixture()
+    def sorter(self, carp_output, tmp_path):
+        with IncrementalSorter(carp_output["dir"], tmp_path / "side") as s:
+            yield s
+
+    def test_first_query_from_base(self, sorter):
+        res = sorter.query(0, 0.5, 2.0)
+        assert sorter.served_from_base == 1
+        assert sorter.served_from_side == 0
+        assert len(res) > 0
+
+    def test_covered_query_from_side(self, sorter, trace_keys, trace_rids):
+        first = sorter.query(0, 0.5, 2.0)
+        second = sorter.query(0, 0.8, 1.5)
+        assert sorter.served_from_side == 1
+        keys, rids = trace_keys[0], trace_rids[0]
+        mask = (keys >= 0.8) & (keys <= 1.5)
+        assert set(second.rids.tolist()) == set(rids[mask].tolist())
+
+    def test_side_queries_pay_no_merge(self, sorter):
+        sorter.query(0, 0.5, 2.0)
+        res = sorter.query(0, 0.6, 1.0)
+        assert res.cost.merge_bytes == 0
+
+    def test_no_duplicates_after_overlapping_writebacks(
+        self, sorter, trace_keys, trace_rids
+    ):
+        sorter.query(0, 0.5, 1.5)
+        sorter.query(0, 1.0, 2.5)  # overlaps the first writeback
+        res = sorter.query(0, 0.7, 2.0)  # covered by coalesced interval
+        assert sorter.served_from_side == 1
+        keys, rids = trace_keys[0], trace_rids[0]
+        mask = (keys >= 0.7) & (keys <= 2.0)
+        assert sorted(res.rids.tolist()) == sorted(rids[mask].tolist())
+
+    def test_writeback_accounted(self, sorter):
+        sorter.query(0, 0.5, 2.0)
+        assert sorter.writeback_bytes > 0
+
+    def test_merge_cost_saved_flag(self, sorter):
+        assert not sorter.merge_cost_saved(0, 0.5, 1.0)
+        sorter.query(0, 0.0, 2.0)
+        assert sorter.merge_cost_saved(0, 0.5, 1.0)
+
+    def test_empty_result_not_written_back(self, sorter, trace_keys):
+        hi = float(trace_keys[0].max())
+        sorter.query(0, hi + 10, hi + 20)
+        assert sorter.writeback_bytes == 0
+
+    def test_epochs_tracked_independently(self, sorter):
+        sorter.query(0, 0.5, 2.0)
+        assert not sorter.merge_cost_saved(1, 0.5, 2.0)

@@ -1,0 +1,118 @@
+"""Tests for the multi-attribute auxiliary index extension (§VIII)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CarpOptions
+from repro.extensions.multi_attribute import (
+    AuxiliaryIndexReader,
+    MultiAttributeIngest,
+    RowLocator,
+)
+from repro.traces.vpic import VpicTraceSpec, generate_timestep
+
+OPTS = CarpOptions(
+    pivot_count=32, oob_capacity=32, renegotiations_per_epoch=3,
+    memtable_records=256, round_records=128, value_size=8,
+)
+SPEC = VpicTraceSpec(nranks=4, particles_per_rank=800, seed=21, value_size=8)
+
+
+@pytest.fixture(scope="module")
+def ingested(tmp_path_factory):
+    out = tmp_path_factory.mktemp("multi")
+    streams = generate_timestep(SPEC, 4)
+    rng = np.random.default_rng(0)
+    aux = {"vx": [rng.normal(size=len(s)).astype(np.float32) for s in streams]}
+    with MultiAttributeIngest(4, out, ("vx",), OPTS) as mi:
+        result = mi.ingest_epoch(0, streams, aux)
+    return {
+        "dir": out,
+        "streams": streams,
+        "aux": aux,
+        "result": result,
+        "keys": np.concatenate([s.keys for s in streams]),
+        "rids": np.concatenate([s.rids for s in streams]),
+        "vx": np.concatenate(aux["vx"]),
+    }
+
+
+class TestRowLocator:
+    def test_lookup(self):
+        loc = RowLocator(np.array([5, 1, 9], np.uint64),
+                         np.array([2, 0, 1], np.int32))
+        assert loc.lookup(np.array([1, 9, 5], np.uint64)).tolist() == [0, 1, 2]
+
+    def test_unknown_rid(self):
+        loc = RowLocator(np.array([1], np.uint64), np.array([0], np.int32))
+        with pytest.raises(KeyError):
+            loc.lookup(np.array([2], np.uint64))
+
+    def test_duplicate_rids_rejected(self):
+        with pytest.raises(ValueError):
+            RowLocator(np.array([1, 1], np.uint64), np.array([0, 1], np.int32))
+
+    def test_save_load_roundtrip(self, tmp_path):
+        loc = RowLocator(np.array([3, 7], np.uint64), np.array([1, 0], np.int32))
+        loc.save(tmp_path / "loc")
+        back = RowLocator.load(tmp_path / "loc")
+        assert np.array_equal(back.rids, loc.rids)
+        assert np.array_equal(back.partitions, loc.partitions)
+
+
+class TestIngest:
+    def test_primary_and_aux_stats(self, ingested):
+        res = ingested["result"]
+        assert res.primary.records == 3200
+        assert res.auxiliary["vx"].records == 3200
+
+    def test_attribute_validation(self, tmp_path):
+        streams = generate_timestep(SPEC, 0)
+        with MultiAttributeIngest(4, tmp_path, ("vx",), OPTS) as mi:
+            with pytest.raises(ValueError, match="exactly"):
+                mi.ingest_epoch(0, streams, {})
+            with pytest.raises(ValueError, match="length mismatch"):
+                mi.ingest_epoch(
+                    0, streams,
+                    {"vx": [np.zeros(1, np.float32) for _ in streams]},
+                )
+
+
+class TestAuxQuery:
+    def test_pointer_equivalence(self, ingested):
+        with AuxiliaryIndexReader(ingested["dir"]) as reader:
+            res = reader.query("vx", 0, -0.5, 0.5)
+        mask = (ingested["vx"] >= -0.5) & (ingested["vx"] <= 0.5)
+        assert set(res.rids.tolist()) == set(ingested["rids"][mask].tolist())
+
+    def test_primary_rows_retrieved_correctly(self, ingested):
+        with AuxiliaryIndexReader(ingested["dir"]) as reader:
+            res = reader.query("vx", 0, 0.0, 1.0)
+        want = dict(zip(ingested["rids"].tolist(), ingested["keys"].tolist()))
+        got = dict(zip(res.rids.tolist(), res.primary_keys.tolist()))
+        for rid, key in got.items():
+            assert key == pytest.approx(want[rid], rel=1e-6)
+
+    def test_latency_composition(self, ingested):
+        with AuxiliaryIndexReader(ingested["dir"]) as reader:
+            res = reader.query("vx", 0, -1.0, 1.0)
+        assert res.latency == pytest.approx(
+            res.index_latency + res.retrieval_latency
+        )
+        # auxiliary retrieval pays random reads: costlier per record
+        assert res.retrieval_latency > 0
+
+    def test_aux_slower_than_primary_for_same_rows(self, ingested):
+        """§VIII: auxiliary attributes don't match primary-attribute
+        query performance (random-read retrieval)."""
+        from repro.query.engine import PartitionedStore
+        from repro.extensions.multi_attribute import PRIMARY_SUBDIR
+
+        with AuxiliaryIndexReader(ingested["dir"]) as reader:
+            aux_res = reader.query("vx", 0, -0.3, 0.3)
+            with PartitionedStore(ingested["dir"] / PRIMARY_SUBDIR) as primary:
+                lo, hi = np.quantile(ingested["keys"], [0.4, 0.6])
+                prim_res = primary.query(0, float(lo), float(hi))
+        per_row_aux = aux_res.latency / max(len(aux_res), 1)
+        per_row_prim = prim_res.cost.latency / max(len(prim_res), 1)
+        assert per_row_aux > per_row_prim

@@ -1,0 +1,139 @@
+"""Tests for the cost-based query planner (§VIII analysis engine)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fastquery import BitmapIndex
+from repro.core.config import CarpOptions
+from repro.extensions.multi_attribute import (
+    PRIMARY_SUBDIR,
+    AuxiliaryIndexReader,
+    MultiAttributeIngest,
+)
+from repro.extensions.planner import QueryPlanner
+from repro.query.engine import PartitionedStore
+from repro.traces.vpic import VpicTraceSpec, generate_timestep
+
+OPTS = CarpOptions(
+    pivot_count=32, oob_capacity=32, renegotiations_per_epoch=3,
+    memtable_records=256, round_records=128, value_size=8,
+)
+SPEC = VpicTraceSpec(nranks=4, particles_per_rank=1200, seed=41, value_size=8)
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    out = tmp_path_factory.mktemp("planner")
+    streams = generate_timestep(SPEC, 6)
+    rng = np.random.default_rng(0)
+    vx = [rng.normal(size=len(s)).astype(np.float32) for s in streams]
+    with MultiAttributeIngest(4, out, ("vx",), OPTS) as mi:
+        mi.ingest_epoch(0, streams, {"vx": vx})
+    bitmap = BitmapIndex(
+        np.concatenate(vx),
+        np.concatenate([s.rids for s in streams]),
+        nbins=64, record_size=12,
+    )
+    return {
+        "dir": out,
+        "keys": np.concatenate([s.keys for s in streams]),
+        "vx": np.concatenate(vx),
+        "rids": np.concatenate([s.rids for s in streams]),
+        "bitmap": bitmap,
+    }
+
+
+@pytest.fixture()
+def planner(dataset):
+    primary = PartitionedStore(dataset["dir"] / PRIMARY_SUBDIR)
+    aux = AuxiliaryIndexReader(dataset["dir"])
+    p = QueryPlanner(
+        primary_store=primary,
+        primary_attribute="energy",
+        aux_reader=aux,
+        aux_attributes=("vx",),
+        bitmap_indexes={"vx": dataset["bitmap"]},
+    )
+    yield p
+    primary.close()
+    aux.close()
+
+
+class TestPlanSelection:
+    def test_primary_attribute_uses_clustered(self, planner, dataset):
+        lo, hi = np.quantile(dataset["keys"].astype(np.float64), [0.4, 0.6])
+        choice = planner.plan("energy", 0, float(lo), float(hi))
+        assert choice.plan == "clustered"
+
+    def test_clustered_beats_scan_estimate(self, planner, dataset):
+        lo, hi = np.quantile(dataset["keys"].astype(np.float64), [0.4, 0.5])
+        cands = planner.candidates("energy", 0, float(lo), float(hi))
+        plans = {c.plan: c.estimated_latency for c in cands}
+        assert plans["clustered"] < plans["scan"]
+
+    def test_aux_attribute_uses_an_index(self, planner):
+        choice = planner.plan("vx", 0, -0.2, 0.2)
+        assert choice.plan in ("aux", "bitmap")
+
+    def test_unknown_attribute_rejected(self, planner):
+        with pytest.raises(ValueError, match="no index"):
+            planner.plan("pressure", 0, 0.0, 1.0)
+
+    def test_candidates_sorted_by_estimate(self, planner, dataset):
+        lo, hi = np.quantile(dataset["keys"].astype(np.float64), [0.3, 0.7])
+        cands = planner.candidates("energy", 0, float(lo), float(hi))
+        ests = [c.estimated_latency for c in cands]
+        assert ests == sorted(ests)
+
+    def test_validation(self, dataset):
+        with PartitionedStore(dataset["dir"] / PRIMARY_SUBDIR) as primary:
+            with pytest.raises(ValueError, match="aux_reader"):
+                QueryPlanner(primary, "energy", aux_attributes=("vx",))
+
+
+class TestExecution:
+    def test_primary_results_correct(self, planner, dataset):
+        keys, rids = dataset["keys"], dataset["rids"]
+        lo, hi = map(float, np.quantile(keys.astype(np.float64), [0.3, 0.6]))
+        res = planner.execute("energy", 0, lo, hi)
+        from repro.core.records import range_mask
+
+        expect = set(rids[range_mask(keys, lo, hi)].tolist())
+        assert set(res.rids.tolist()) == expect
+        assert res.choice.plan == "clustered"
+
+    def test_aux_results_correct(self, planner, dataset):
+        vx, rids = dataset["vx"], dataset["rids"]
+        res = planner.execute("vx", 0, -0.5, 0.5)
+        from repro.core.records import range_mask
+
+        expect = set(rids[range_mask(vx, -0.5, 0.5)].tolist())
+        assert set(res.rids.tolist()) == expect
+
+    def test_alternatives_reported(self, planner, dataset):
+        lo, hi = map(float, np.quantile(
+            dataset["keys"].astype(np.float64), [0.4, 0.5]
+        ))
+        res = planner.execute("energy", 0, lo, hi)
+        assert len(res.alternatives) >= 1
+        assert all(
+            a.estimated_latency >= res.choice.estimated_latency
+            for a in res.alternatives
+        )
+
+    def test_actual_latency_positive(self, planner, dataset):
+        lo, hi = map(float, np.quantile(
+            dataset["keys"].astype(np.float64), [0.45, 0.55]
+        ))
+        res = planner.execute("energy", 0, lo, hi)
+        assert res.actual_latency > 0
+
+    def test_estimate_sane_vs_actual(self, planner, dataset):
+        """Metadata-only estimates land within an order of magnitude of
+        the executed plan's modeled latency."""
+        lo, hi = map(float, np.quantile(
+            dataset["keys"].astype(np.float64), [0.3, 0.7]
+        ))
+        res = planner.execute("energy", 0, lo, hi)
+        ratio = res.choice.estimated_latency / res.actual_latency
+        assert 0.1 < ratio < 10

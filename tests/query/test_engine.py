@@ -1,0 +1,219 @@
+"""Tests for the range query engine over real CARP/sorted output."""
+
+import numpy as np
+import pytest
+
+from repro.query.engine import PartitionedStore, _overlapping_run_bytes
+
+
+@pytest.fixture(scope="module")
+def store(carp_output):
+    with PartitionedStore(carp_output["dir"]) as s:
+        yield s
+
+
+@pytest.fixture(scope="module")
+def sstore(sorted_output):
+    with PartitionedStore(sorted_output) as s:
+        yield s
+
+
+class TestMetadata:
+    def test_epochs(self, store):
+        assert store.epochs() == [0, 1]
+
+    def test_total_records(self, store, trace_keys):
+        assert store.total_records(0) == len(trace_keys[0])
+        assert store.total_records(1) == len(trace_keys[1])
+
+    def test_key_range_covers_data(self, store, trace_keys):
+        lo, hi = store.key_range(0)
+        assert lo <= trace_keys[0].min()
+        assert hi >= trace_keys[0].max()
+
+    def test_total_bytes_positive(self, store):
+        assert store.total_bytes(0) > 0
+
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            PartitionedStore(tmp_path)
+
+
+class TestQueries:
+    def test_equivalence_with_brute_force(self, store, trace_keys, trace_rids):
+        keys, rids = trace_keys[0], trace_rids[0]
+        for lo, hi in [(0.1, 0.5), (1.0, 10.0), (0.0, 100.0), (30.0, 60.0)]:
+            res = store.query(0, lo, hi)
+            mask = (keys >= lo) & (keys <= hi)
+            assert set(res.rids.tolist()) == set(rids[mask].tolist())
+
+    def test_results_sorted(self, store):
+        res = store.query(0, 0.0, 5.0)
+        assert np.all(np.diff(res.keys) >= 0)
+
+    def test_boundary_keys_included(self, store, trace_keys):
+        k = float(np.sort(trace_keys[0])[100])
+        res = store.query(0, k, k)
+        assert len(res) >= 1
+        assert np.all(res.keys == np.float32(k))
+
+    def test_empty_range_result(self, store, trace_keys):
+        hi = float(trace_keys[0].max())
+        res = store.query(0, hi + 100, hi + 200)
+        assert len(res) == 0
+        assert res.cost.ssts_read == 0
+
+    def test_invalid_range_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.query(0, 5.0, 1.0)
+
+    def test_epoch_isolation(self, store, trace_keys, trace_rids):
+        res = store.query(1, 0.0, 1e6)
+        assert set(res.rids.tolist()) == set(trace_rids[1].tolist())
+
+    def test_scan_returns_everything(self, store, trace_keys):
+        res = store.scan(0)
+        assert len(res) == len(trace_keys[0])
+
+
+class TestCosts:
+    def test_selective_query_reads_fraction(self, store, trace_keys):
+        keys = np.sort(trace_keys[0])
+        lo, hi = float(keys[100]), float(keys[200])
+        res = store.query(0, lo, hi)
+        assert res.cost.bytes_read < store.total_bytes(0) * 0.7
+
+    def test_bytes_read_matches_entries(self, store):
+        res = store.query(0, 0.2, 0.4)
+        entries = store.overlapping_entries(0, 0.2, 0.4)
+        assert res.cost.bytes_read == sum(e.length for _, e in entries)
+        assert res.cost.read_requests == len(entries)
+
+    def test_latency_positive_and_composed(self, store):
+        res = store.query(0, 0.1, 1.0)
+        assert res.cost.latency == pytest.approx(
+            res.cost.read_time + res.cost.merge_time
+        )
+        assert res.cost.latency > 0
+
+    def test_carp_pays_merge_cost(self, store):
+        res = store.query(0, 0.1, 1.0)
+        assert res.cost.merge_bytes > 0
+
+    def test_sorted_layout_pays_no_merge(self, sstore):
+        res = sstore.query(0, 0.1, 1.0)
+        assert res.cost.merge_bytes == 0
+
+    def test_sorted_and_carp_agree(self, store, sstore):
+        a = store.query(0, 0.5, 2.0)
+        b = sstore.query(0, 0.5, 2.0)
+        assert set(a.rids.tolist()) == set(b.rids.tolist())
+        assert np.array_equal(np.sort(a.keys), np.sort(b.keys))
+
+
+class TestOverlappingRunBytes:
+    def test_empty(self):
+        assert _overlapping_run_bytes([]) == 0
+
+    def test_single(self):
+        assert _overlapping_run_bytes([(0.0, 1.0, 100)]) == 0
+
+    def test_disjoint(self):
+        spans = [(0.0, 1.0, 100), (2.0, 3.0, 100)]
+        assert _overlapping_run_bytes(spans) == 0
+
+    def test_all_overlapping(self):
+        spans = [(0.0, 2.0, 100), (1.0, 3.0, 200)]
+        assert _overlapping_run_bytes(spans) == 300
+
+    def test_mixed(self):
+        spans = [(0.0, 2.0, 100), (1.0, 3.0, 200), (10.0, 11.0, 400)]
+        assert _overlapping_run_bytes(spans) == 300
+
+    def test_touching_counts_as_overlap(self):
+        spans = [(0.0, 1.0, 100), (1.0, 2.0, 200)]
+        assert _overlapping_run_bytes(spans) == 300
+
+    def test_chain_overlap(self):
+        spans = [(0.0, 2.0, 1), (1.5, 4.0, 2), (3.5, 6.0, 4)]
+        assert _overlapping_run_bytes(spans) == 7
+
+
+class TestRecovery:
+    def test_store_opens_torn_logs_with_recover(self, tmp_path):
+        from repro.core.records import RecordBatch
+        from repro.storage.log import LogWriter, log_name
+        from repro.storage.manifest import ManifestError
+
+        path = tmp_path / log_name(0)
+        w = LogWriter(path)
+        w.append_batch(
+            RecordBatch.from_keys(np.array([1.0, 2.0], np.float32),
+                                  value_size=8), 0)
+        w.flush_epoch(0)
+        w.append_batch(
+            RecordBatch.from_keys(np.array([3.0], np.float32), value_size=8),
+            1)  # torn epoch
+        w.close()
+        with pytest.raises(ManifestError):
+            PartitionedStore(tmp_path)
+        with PartitionedStore(tmp_path, recover=True) as store:
+            assert store.epochs() == [0]
+            assert store.total_records(0) == 2
+
+
+class TestMultiEpoch:
+    def test_query_all_epochs(self, store, trace_keys, trace_rids):
+        results = store.query_all_epochs(0.5, 2.0)
+        assert sorted(results) == [0, 1]
+        for epoch, res in results.items():
+            keys, rids = trace_keys[epoch], trace_rids[epoch]
+            mask = (keys >= 0.5) & (keys <= 2.0)
+            assert set(res.rids.tolist()) == set(rids[mask].tolist())
+
+
+class TestKeysOnly:
+    def test_same_keys_less_io(self, store, trace_keys):
+        full = store.query(0, 0.5, 2.0)
+        ko = store.query(0, 0.5, 2.0, keys_only=True)
+        assert np.array_equal(np.sort(full.keys), ko.keys)
+        assert ko.cost.bytes_read < full.cost.bytes_read
+        assert np.all(ko.rids == 0)
+
+    def test_empty_range(self, store, trace_keys):
+        hi = float(trace_keys[0].max())
+        res = store.query(0, hi + 5, hi + 6, keys_only=True)
+        assert len(res) == 0
+
+    def test_counts_match_brute_force(self, store, trace_keys):
+        keys = trace_keys[0]
+        res = store.query(0, 1.0, 4.0, keys_only=True)
+        assert len(res) == int(np.count_nonzero((keys >= 1.0) & (keys <= 4.0)))
+
+
+class TestConcurrentClients:
+    def test_multiple_stores_in_threads(self, carp_output, trace_keys,
+                                        trace_rids):
+        """Paper §V-D: query clients open logs read-only, so multiple
+        concurrent clients are automatically supported — one store per
+        client (a store holds per-file cursors and is not itself
+        shareable across threads)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        keys, rids = trace_keys[0], trace_rids[0]
+
+        def client(seed):
+            rng = np.random.default_rng(seed)
+            with PartitionedStore(carp_output["dir"]) as s:
+                out = []
+                for _ in range(5):
+                    a, b = np.sort(rng.uniform(keys.min(), keys.max(), 2))
+                    res = s.query(0, float(a), float(b))
+                    mask = (keys >= a) & (keys <= b)
+                    out.append(set(res.rids.tolist()) ==
+                               set(rids[mask].tolist()))
+                return all(out)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(client, range(4)))
+        assert all(results)

@@ -1,0 +1,83 @@
+"""Tests for query-quality metrics (selectivity, RAF)."""
+
+import numpy as np
+import pytest
+
+from repro.query.engine import PartitionedStore
+from repro.query.metrics import (
+    raf_percentiles,
+    read_amplification_profile,
+    selectivity,
+    selectivity_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def store(carp_output):
+    with PartitionedStore(carp_output["dir"]) as s:
+        yield s
+
+
+class TestSelectivity:
+    def test_basic(self):
+        assert selectivity(5, 100) == 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            selectivity(1, 0)
+
+    def test_profile_bounded(self, store, trace_keys):
+        probes = np.quantile(trace_keys[0], [0.1, 0.5, 0.9])
+        sel = selectivity_profile(store, 0, probes)
+        assert np.all(sel > 0)
+        assert np.all(sel <= 1)
+
+    def test_profile_partition_floor(self, store, carp_output):
+        """Point selectivity is at least ~one partition's share."""
+        probes = np.array([0.2])
+        sel = selectivity_profile(store, 0, probes)
+        nranks = 8
+        assert sel[0] > 0.2 / nranks
+
+
+class TestRAF:
+    def test_ideal_is_one(self, tmp_path):
+        """A perfectly balanced disjoint layout has RAF ~ 1."""
+        from repro.core.records import RecordBatch
+        from repro.storage.log import LogWriter, log_name
+
+        n, parts = 1000, 4
+        keys = np.sort(np.random.default_rng(0).random(n).astype(np.float32))
+        for p in range(parts):
+            with LogWriter(tmp_path / log_name(p)) as w:
+                chunk = keys[p * (n // parts) : (p + 1) * (n // parts)]
+                w.append_batch(RecordBatch.from_keys(chunk, value_size=8), 0)
+                w.flush_epoch(0)
+        with PartitionedStore(tmp_path) as store:
+            probes = np.quantile(keys, [0.2, 0.5, 0.8])
+            raf = read_amplification_profile(store, 0, probes, parts)
+        assert np.all(raf < 1.5)
+
+    def test_strays_inflate_raf(self, store, trace_keys, carp_output):
+        probes = np.quantile(trace_keys[0], np.linspace(0.05, 0.95, 19))
+        with_strays = read_amplification_profile(store, 0, probes, 8)
+        main_only = read_amplification_profile(
+            store, 0, probes, 8, include_strays=False
+        )
+        assert with_strays.mean() >= main_only.mean()
+
+    def test_probe_weighting(self, store, trace_keys):
+        probes = np.quantile(trace_keys[0], [0.5])
+        raf = read_amplification_profile(store, 0, probes, 8)
+        assert raf.shape == (1,)
+        assert raf[0] > 0
+
+    def test_percentiles(self):
+        raf = np.arange(1, 101, dtype=float)
+        p50, p99 = raf_percentiles(raf)
+        assert p50 == pytest.approx(50.5)
+        assert p99 == pytest.approx(99.01)
+
+    def test_percentiles_empty_rejected(self):
+        with pytest.raises(ValueError):
+            raf_percentiles(np.array([]))

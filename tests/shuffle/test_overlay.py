@@ -1,0 +1,93 @@
+"""Unit tests for the 3-hop overlay topology."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.shuffle.overlay import Overlay3Hop
+
+
+class TestOverlay3Hop:
+    def test_nnodes(self):
+        assert Overlay3Hop(32, ranks_per_node=16).nnodes == 2
+        assert Overlay3Hop(33, ranks_per_node=16).nnodes == 3
+
+    def test_node_of(self):
+        ov = Overlay3Hop(32, ranks_per_node=16)
+        assert ov.node_of(0) == 0
+        assert ov.node_of(15) == 0
+        assert ov.node_of(16) == 1
+
+    def test_same_rank_path(self):
+        ov = Overlay3Hop(32, 16)
+        assert ov.path(3, 3) == [3]
+        assert ov.hop_count(3, 3) == 0
+
+    def test_same_node_path_is_direct(self):
+        ov = Overlay3Hop(32, 16)
+        assert ov.path(1, 7) == [1, 7]
+        assert ov.hop_count(1, 7) == 1
+
+    def test_cross_node_at_most_three_hops(self):
+        ov = Overlay3Hop(64, 16)
+        for src in range(0, 64, 7):
+            for dst in range(0, 64, 11):
+                assert ov.hop_count(src, dst) <= 3
+
+    def test_path_endpoints(self):
+        ov = Overlay3Hop(48, 16)
+        path = ov.path(2, 40)
+        assert path[0] == 2 and path[-1] == 40
+
+    def test_path_has_no_consecutive_duplicates(self):
+        ov = Overlay3Hop(48, 16)
+        for src, dst in [(0, 47), (15, 16), (0, 16), (17, 1)]:
+            path = ov.path(src, dst)
+            assert all(a != b for a, b in zip(path, path[1:]))
+
+    def test_intermediate_hops_on_correct_nodes(self):
+        ov = Overlay3Hop(64, 16)
+        path = ov.path(2, 50)
+        # second hop on source node, third on destination node
+        assert ov.node_of(path[1]) == ov.node_of(2)
+        assert ov.node_of(path[-2]) == ov.node_of(50)
+
+    def test_connection_scaling_beats_all_to_all(self):
+        """Per-rank flows grow far slower than N-1 (what makes DeltaFS's
+        overlay scale to 131072 ranks)."""
+        ov = Overlay3Hop(131072, 16)
+        assert ov.connections_per_rank() < 10_000  # vs 131071 direct
+
+    def test_rank_bounds_checked(self):
+        ov = Overlay3Hop(8, 4)
+        with pytest.raises(IndexError):
+            ov.path(0, 8)
+        with pytest.raises(IndexError):
+            ov.node_of(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Overlay3Hop(0)
+        with pytest.raises(ValueError):
+            Overlay3Hop(8, 0)
+
+    def test_partial_last_node(self):
+        ov = Overlay3Hop(20, 16)  # second node has only 4 ranks
+        path = ov.path(0, 18)
+        assert path[-1] == 18
+        assert all(0 <= r < 20 for r in path)
+
+    @given(
+        nranks=st.integers(1, 200),
+        rpn=st.integers(1, 32),
+        src=st.integers(0, 199),
+        dst=st.integers(0, 199),
+    )
+    @settings(max_examples=100)
+    def test_path_valid_for_any_pair(self, nranks, rpn, src, dst):
+        if src >= nranks or dst >= nranks:
+            return
+        ov = Overlay3Hop(nranks, rpn)
+        path = ov.path(src, dst)
+        assert path[0] == src and path[-1] == dst
+        assert len(path) <= 4
+        assert all(0 <= r < nranks for r in path)

@@ -1,0 +1,96 @@
+"""Unit tests for shuffle routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition import OOB_DEST, PartitionTable
+from repro.core.records import RecordBatch
+from repro.shuffle.router import hash_route, range_route, split_by_destination
+
+
+def batch(*keys):
+    return RecordBatch.from_keys(np.array(keys, dtype=np.float32), value_size=8)
+
+
+class TestRangeRoute:
+    def test_routes_by_partition(self):
+        table = PartitionTable(np.array([0.0, 1.0, 2.0]))
+        dests = range_route(batch(0.5, 1.5), table)
+        assert dests.tolist() == [0, 1]
+
+    def test_oob_marked(self):
+        table = PartitionTable(np.array([0.0, 1.0]))
+        dests = range_route(batch(-1.0, 0.5, 2.0), table)
+        assert dests.tolist() == [OOB_DEST, 0, OOB_DEST]
+
+
+class TestHashRoute:
+    def test_in_range(self):
+        dests = hash_route(batch(*np.random.default_rng(0).random(100)), 8)
+        assert np.all((dests >= 0) & (dests < 8))
+
+    def test_deterministic(self):
+        b = batch(1.0, 2.0, 3.0)
+        assert np.array_equal(hash_route(b, 4), hash_route(b, 4))
+
+    def test_depends_on_rid_not_key(self):
+        a = RecordBatch(np.array([1.0], np.float32), np.array([5], np.uint64), 8)
+        b = RecordBatch(np.array([9.0], np.float32), np.array([5], np.uint64), 8)
+        assert hash_route(a, 16)[0] == hash_route(b, 16)[0]
+
+    def test_roughly_uniform(self):
+        b = RecordBatch.from_keys(np.zeros(8000, np.float32), value_size=8)
+        counts = np.bincount(hash_route(b, 8), minlength=8)
+        assert counts.min() > 800  # perfect = 1000
+
+    def test_nranks_validation(self):
+        with pytest.raises(ValueError):
+            hash_route(batch(1.0), 0)
+
+    def test_single_rank(self):
+        assert np.all(hash_route(batch(1.0, 2.0), 1) == 0)
+
+
+class TestSplitByDestination:
+    def test_split(self):
+        table = PartitionTable(np.array([0.0, 1.0, 2.0]))
+        b = batch(0.1, 1.5, 0.9, 5.0)
+        per_dest, oob = split_by_destination(b, range_route(b, table))
+        assert sorted(per_dest) == [0, 1]
+        assert per_dest[0].keys.tolist() == pytest.approx([0.1, 0.9])
+        assert per_dest[1].keys.tolist() == [1.5]
+        assert oob.keys.tolist() == [5.0]
+
+    def test_all_oob(self):
+        table = PartitionTable(np.array([0.0, 1.0]))
+        b = batch(5.0, 6.0)
+        per_dest, oob = split_by_destination(b, range_route(b, table))
+        assert per_dest == {}
+        assert len(oob) == 2
+
+    def test_no_oob(self):
+        b = batch(0.1, 0.2)
+        per_dest, oob = split_by_destination(b, np.array([0, 0]))
+        assert len(oob) == 0
+        assert len(per_dest[0]) == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            split_by_destination(batch(1.0), np.array([0, 1]))
+
+    def test_preserves_order_within_destination(self):
+        b = batch(0.3, 0.1, 0.2)
+        per_dest, _ = split_by_destination(b, np.array([0, 0, 0]))
+        assert per_dest[0].keys.tolist() == pytest.approx([0.3, 0.1, 0.2])
+
+    @given(st.lists(st.floats(-5, 5, allow_nan=False, width=32), max_size=60))
+    @settings(max_examples=40)
+    def test_partition_of_batch(self, values):
+        """split is a partition: no record lost, none duplicated."""
+        b = RecordBatch.from_keys(np.array(values, np.float32), value_size=8)
+        table = PartitionTable(np.array([-1.0, 0.0, 1.0, 2.0]))
+        per_dest, oob = split_by_destination(b, range_route(b, table))
+        pieces = [oob] + list(per_dest.values())
+        got = np.concatenate([p.rids for p in pieces]) if pieces else []
+        assert sorted(got.tolist()) == sorted(b.rids.tolist())

@@ -1,0 +1,62 @@
+"""Unit tests for the cluster spec / cost-model substrate."""
+
+import pytest
+
+from repro.sim.cluster import GB, MB, PAPER_CLUSTER, ClusterSpec
+
+
+class TestStorageBound:
+    def test_paper_calibration_points(self):
+        assert PAPER_CLUSTER.storage_bound(32) == pytest.approx(1.6 * GB)
+        assert PAPER_CLUSTER.storage_bound(512) == pytest.approx(3.0 * GB)
+
+    def test_contention_dip_at_1024(self):
+        assert PAPER_CLUSTER.storage_bound(1024) < PAPER_CLUSTER.storage_bound(512)
+
+    def test_monotone_up_to_saturation(self):
+        prev = 0.0
+        for n in (32, 64, 128, 256, 512):
+            cur = PAPER_CLUSTER.storage_bound(n)
+            assert cur > prev
+            prev = cur
+
+    def test_interpolation_between_points(self):
+        mid = PAPER_CLUSTER.storage_bound(48)
+        assert 1.6 * GB < mid < 2.0 * GB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PAPER_CLUSTER.storage_bound(0)
+
+
+class TestNetworkBound:
+    def test_linear_in_ranks(self):
+        assert PAPER_CLUSTER.network_bound(64) == pytest.approx(
+            2 * PAPER_CLUSTER.network_bound(32)
+        )
+
+    def test_crosses_storage_bound(self):
+        """Fig. 7b: network-bound at small scale, storage-bound at large."""
+        assert PAPER_CLUSTER.network_bound(32) < PAPER_CLUSTER.storage_bound(32)
+        assert PAPER_CLUSTER.network_bound(512) > PAPER_CLUSTER.storage_bound(512)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PAPER_CLUSTER.network_bound(-1)
+
+
+class TestMemoryFootprint:
+    def test_paper_example(self):
+        """§VI: 4096 ranks, default parameters -> ~27 MB per rank."""
+        mem = PAPER_CLUSTER.memory_per_rank(4096)
+        assert 26 * MB < mem < 28 * MB
+
+    def test_scales_weakly_with_ranks(self):
+        small = PAPER_CLUSTER.memory_per_rank(32)
+        large = PAPER_CLUSTER.memory_per_rank(131072)
+        # dominated by memtables, not by per-rank tables
+        assert large < 2 * small
+
+    def test_custom_spec(self):
+        spec = ClusterSpec(shuffle_goodput_per_rank=1.0)
+        assert spec.network_bound(10) == 10.0

@@ -1,0 +1,138 @@
+"""Unit tests for the write-path pipeline simulator."""
+
+import pytest
+
+from repro.sim.engine import (
+    post_processing_throughput,
+    simulate_ingestion,
+)
+
+GB = 1e9
+
+
+class TestSimulateIngestion:
+    def test_storage_only(self):
+        res = simulate_ingestion(10 * GB, shuffle_bandwidth=None,
+                                 storage_bandwidth=1 * GB)
+        assert res.duration == pytest.approx(10.0)
+        assert res.effective_throughput == pytest.approx(1 * GB)
+
+    def test_network_bottleneck(self):
+        res = simulate_ingestion(10 * GB, shuffle_bandwidth=0.5 * GB,
+                                 storage_bandwidth=5 * GB)
+        assert res.duration == pytest.approx(20.0, rel=0.01)
+
+    def test_storage_bottleneck(self):
+        res = simulate_ingestion(10 * GB, shuffle_bandwidth=5 * GB,
+                                 storage_bandwidth=1 * GB)
+        assert res.duration == pytest.approx(10.0, rel=0.01)
+
+    def test_shuffle_only_drops_data(self):
+        res = simulate_ingestion(10 * GB, shuffle_bandwidth=2 * GB,
+                                 storage_bandwidth=None)
+        assert res.duration == pytest.approx(5.0, rel=0.01)
+
+    def test_reneg_pauses_masked_by_buffers(self):
+        """With deep receiver buffers and storage as the bottleneck,
+        renegotiation pauses hide behind queued data (paper §VI)."""
+        base = simulate_ingestion(10 * GB, 5 * GB, 1 * GB)
+        paused = simulate_ingestion(
+            10 * GB, 5 * GB, 1 * GB,
+            reneg_pauses=[0.15] * 6,
+            receiver_buffer_bytes=float("inf"),
+        )
+        assert paused.duration == pytest.approx(base.duration, rel=0.02)
+
+    def test_reneg_pauses_hurt_when_network_bound(self):
+        """When the shuffle is the bottleneck, pauses add directly."""
+        base = simulate_ingestion(10 * GB, 1 * GB, 5 * GB)
+        paused = simulate_ingestion(10 * GB, 1 * GB, 5 * GB,
+                                    reneg_pauses=[0.5] * 4)
+        assert paused.duration > base.duration + 1.5
+
+    def test_tiny_buffers_expose_pauses(self):
+        masked = simulate_ingestion(
+            10 * GB, 5 * GB, 1 * GB, reneg_pauses=[1.0] * 3,
+            receiver_buffer_bytes=float("inf"),
+        )
+        exposed = simulate_ingestion(
+            10 * GB, 5 * GB, 1 * GB, reneg_pauses=[1.0] * 3,
+            receiver_buffer_bytes=0.01 * GB,
+        )
+        assert exposed.duration > masked.duration
+
+    def test_back_pressure_limits_queue(self):
+        res = simulate_ingestion(
+            10 * GB, 100 * GB, 1 * GB, receiver_buffer_bytes=0.1 * GB
+        )
+        # still completes in storage-bound time
+        assert res.duration == pytest.approx(10.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_ingestion(0, 1 * GB, 1 * GB)
+        with pytest.raises(ValueError):
+            simulate_ingestion(1 * GB, None, None)
+
+    def test_stall_accounting(self):
+        res = simulate_ingestion(10 * GB, 1 * GB, 5 * GB,
+                                 reneg_pauses=[1.0])
+        assert res.shuffle_stall_time > 0.5
+
+
+class TestPostProcessing:
+    def test_no_post_processing_is_raw(self):
+        t = post_processing_throughput(10 * GB, 1 * GB, 0, 0)
+        assert t == pytest.approx(1 * GB)
+
+    def test_four_pass_sort_slowdown(self):
+        t = post_processing_throughput(10 * GB, 1 * GB, 2, 2)
+        assert 1 * GB / t == pytest.approx(5.0)
+
+    def test_cpu_time_added(self):
+        t = post_processing_throughput(10 * GB, 1 * GB, 0, 0, cpu_time=10.0)
+        assert 1 * GB / t == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            post_processing_throughput(0, 1, 0, 0)
+
+
+class TestSimulationInvariants:
+    from hypothesis import given, settings, strategies as st
+
+    @given(
+        data=st.floats(1e6, 1e12),
+        s_bw=st.floats(1e6, 1e11),
+        t_bw=st.floats(1e6, 1e11),
+        n_pauses=st.integers(0, 8),
+        pause=st.floats(0.0, 10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_duration_bounds(self, data, s_bw, t_bw, n_pauses, pause):
+        """The pipeline can never beat its bottleneck, and never does
+        worse than fully serializing both stages plus every pause."""
+        res = simulate_ingestion(data, s_bw, t_bw,
+                                 reneg_pauses=[pause] * n_pauses)
+        lower = data / min(s_bw, t_bw)
+        upper = data / s_bw + data / t_bw + n_pauses * pause
+        # the fixed-step integrator has ~1/20000 resolution
+        assert res.duration >= lower * 0.999
+        assert res.duration <= upper * 1.02 + 1e-6
+
+    @given(data=st.floats(1e6, 1e12), s_bw=st.floats(1e6, 1e11))
+    @settings(max_examples=30, deadline=None)
+    def test_shuffle_only_exact(self, data, s_bw):
+        res = simulate_ingestion(data, s_bw, None)
+        assert res.duration == pytest.approx(data / s_bw, rel=0.01)
+
+    @given(
+        data=st.floats(1e8, 1e11),
+        buffers=st.floats(1e6, 1e12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_buffer_size_never_loses_data(self, data, buffers):
+        res = simulate_ingestion(data, 2e9, 1e9,
+                                 receiver_buffer_bytes=buffers)
+        assert res.effective_throughput <= 1e9 * 1.001
+        assert res.duration >= data / 1e9 * 0.999

@@ -1,0 +1,73 @@
+"""Unit tests for the I/O cost model."""
+
+import pytest
+
+from repro.sim.iomodel import IOModel
+
+
+class TestIOModel:
+    def test_read_time_components(self):
+        io = IOModel(read_bandwidth=1e9, request_latency=1e-3, parallelism=1)
+        # 1 GB at 1 GB/s + 10 requests x 1 ms
+        assert io.read_time(10**9, 10) == pytest.approx(1.0 + 0.01)
+
+    def test_parallelism_amortizes_requests(self):
+        serial = IOModel(parallelism=1)
+        parallel = IOModel(parallelism=16)
+        assert parallel.read_time(0, 160) == pytest.approx(
+            serial.read_time(0, 160) / 16
+        )
+
+    def test_random_reads_expensive_per_byte(self):
+        """The auxiliary-index pathology: same bytes, many more requests."""
+        io = IOModel()
+        seq = io.read_time(10**8, 10)
+        rand = io.random_read_time(10**8, 100_000)
+        assert rand > 10 * seq
+
+    def test_merge_and_scan_costs(self):
+        io = IOModel(merge_bandwidth=1e9, scan_bandwidth=2e9)
+        assert io.merge_time(10**9) == pytest.approx(1.0)
+        assert io.scan_time(10**9) == pytest.approx(0.5)
+
+    def test_zero_work_is_free(self):
+        io = IOModel()
+        assert io.read_time(0, 0) == 0.0
+        assert io.merge_time(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IOModel(parallelism=0)
+        with pytest.raises(ValueError):
+            IOModel().read_time(-1, 0)
+
+    def test_merge_cheaper_than_io_for_same_bytes(self):
+        """Paper: query-time merging "is cheap compared to the I/O cost
+        of retrieving data" for request-heavy reads."""
+        io = IOModel()
+        nbytes = 10**8
+        assert io.merge_time(nbytes) < io.read_time(nbytes, 10_000)
+
+
+class TestSourceAwareReads:
+    def test_few_sources_throttle_bandwidth(self):
+        io = IOModel(parallelism=16)
+        spread = io.read_time(10**9, 10, sources=16)
+        concentrated = io.read_time(10**9, 10, sources=1)
+        assert concentrated > 10 * spread
+
+    def test_sources_capped_by_parallelism(self):
+        io = IOModel(parallelism=16)
+        assert io.read_time(10**8, 4, sources=64) == pytest.approx(
+            io.read_time(10**8, 4, sources=16)
+        )
+
+    def test_default_is_fully_spread(self):
+        io = IOModel(parallelism=16)
+        assert io.read_time(10**8, 4) == pytest.approx(
+            io.read_time(10**8, 4, sources=16)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IOModel().read_time(1, 1, sources=0)

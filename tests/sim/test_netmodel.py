@@ -1,0 +1,84 @@
+"""Unit tests for the network latency model."""
+
+import numpy as np
+import pytest
+
+from repro.core.pivots import pivots_from_histogram
+from repro.core.renegotiation import negotiate_trp
+from repro.sim.netmodel import NetModel
+
+
+def reneg_stats(nranks, pivot_width=512, fanout=64, seed=0):
+    rng = np.random.default_rng(seed)
+    pivots = [
+        pivots_from_histogram(None, None, pivot_width,
+                              oob_keys=rng.lognormal(size=200))
+        for _ in range(nranks)
+    ]
+    _, stats = negotiate_trp(pivots, nranks, pivot_width, fanout)
+    return stats
+
+
+class TestMessageTime:
+    def test_latency_plus_bandwidth(self):
+        net = NetModel(rpc_latency=1e-3, bandwidth=1e6)
+        assert net.message_time(1000) == pytest.approx(1e-3 + 1e-3)
+
+    def test_zero_bytes(self):
+        net = NetModel(rpc_latency=1e-3)
+        assert net.message_time(0) == pytest.approx(1e-3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            NetModel().message_time(-1)
+
+
+class TestBroadcast:
+    def test_log_depth(self):
+        net = NetModel(rpc_latency=1e-3, bandwidth=1e12)
+        t8 = net.broadcast_time(8, 100)
+        t64 = net.broadcast_time(64, 100)
+        assert t64 == pytest.approx(2 * t8)
+
+    def test_single_rank_free(self):
+        assert NetModel().broadcast_time(1, 100) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetModel().broadcast_time(0, 10)
+
+
+class TestRenegotiationTime:
+    def test_logarithmic_scaling_in_ranks(self):
+        """Fig. 10a: round latency grows ~log(nranks), not linearly."""
+        net = NetModel()
+        t16 = net.renegotiation_time(reneg_stats(16))
+        t256 = net.renegotiation_time(reneg_stats(256))
+        t2048 = net.renegotiation_time(reneg_stats(2048))
+        assert t16 < t256 < t2048
+        # 128x more ranks costs far less than 128x more time
+        assert t2048 < 20 * t16
+
+    def test_pivot_count_increases_latency(self):
+        """Fig. 10a: more pivots -> proportionally larger messages."""
+        net = NetModel()
+        t64 = net.renegotiation_time(reneg_stats(64, pivot_width=64))
+        t2048p = net.renegotiation_time(reneg_stats(64, pivot_width=2048))
+        assert t2048p > t64
+
+    def test_paper_ballpark_at_2048_ranks(self):
+        """Paper: ~150 ms for 512 pivots at 2048 ranks on IPoIB.
+
+        We accept the right order of magnitude (tens to hundreds of
+        milliseconds)."""
+        net = NetModel()
+        t = net.renegotiation_time(reneg_stats(2048, pivot_width=512))
+        assert 0.02 < t < 0.5
+
+    def test_larger_fanout_fewer_levels(self):
+        net = NetModel(rpc_latency=1e-3, bandwidth=1e12)
+        deep = net.renegotiation_time(reneg_stats(256, fanout=4))
+        shallow = net.renegotiation_time(reneg_stats(256, fanout=64))
+        # fanout trades per-receiver fan-in against tree depth; with
+        # tiny messages the shallow tree pays more serialized receives
+        assert deep != shallow

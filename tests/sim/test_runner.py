@@ -1,0 +1,83 @@
+"""Unit tests for the experiment runner (logic + cost model bridge)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CarpOptions
+from repro.core.records import RecordBatch
+from repro.sim.cluster import GB, PAPER_CLUSTER
+from repro.sim.runner import run_and_time_epochs, time_epoch
+
+OPTS = CarpOptions(
+    pivot_count=32, oob_capacity=32, renegotiations_per_epoch=3,
+    memtable_records=256, round_records=128, value_size=8,
+)
+
+
+def streams(nranks=4, n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        RecordBatch.from_keys(rng.random(n).astype(np.float32), rank=r,
+                              value_size=8)
+        for r in range(nranks)
+    ]
+
+
+class TestRunner:
+    def test_timing_produced_per_epoch(self, tmp_path):
+        stats, timings = run_and_time_epochs(
+            4, tmp_path, [(0, streams(seed=0)), (1, streams(seed=1))], OPTS
+        )
+        assert len(stats) == len(timings) == 2
+        assert all(t.runtime > 0 for t in timings)
+
+    def test_reneg_latencies_priced(self, tmp_path):
+        stats, timings = run_and_time_epochs(4, tmp_path, [(0, streams())], OPTS)
+        assert len(timings[0].reneg_times) == stats[0].renegotiations
+        assert timings[0].total_reneg_time > 0
+
+    def test_scale_to_bytes(self, tmp_path):
+        stats, timings = run_and_time_epochs(
+            4, tmp_path, [(0, streams())], OPTS, scale_to_bytes=188 * GB
+        )
+        assert timings[0].data_bytes == 188 * GB
+
+    def test_effective_throughput_bounded_by_cluster(self, tmp_path):
+        stats, timings = run_and_time_epochs(
+            32, tmp_path,
+            [(0, streams(nranks=32, n=200))], OPTS, scale_to_bytes=10 * GB,
+        )
+        limit = min(PAPER_CLUSTER.storage_bound(32), PAPER_CLUSTER.network_bound(32))
+        assert timings[0].effective_throughput <= limit * 1.001
+
+    def test_time_epoch_default_volume(self, tmp_path):
+        stats, _ = run_and_time_epochs(4, tmp_path, [(0, streams())], OPTS)
+        timing = time_epoch(stats[0], nranks=4, record_size=60)
+        assert timing.data_bytes == stats[0].records * 60
+
+
+class TestAsyncRenegotiation:
+    def test_async_removes_pause_cost_when_network_bound(self, tmp_path):
+        """§VI: routing through the old table during renegotiation
+        keeps the (network-bound) pipeline busy."""
+        from repro.sim.cluster import ClusterSpec
+
+        slow_net = ClusterSpec(shuffle_goodput_per_rank=1e6)  # network-bound
+        stats, _ = run_and_time_epochs(4, tmp_path, [(0, streams())], OPTS)
+        paused = time_epoch(stats[0], nranks=4, cluster=slow_net,
+                            scale_to_bytes=1e9)
+        asynchronous = time_epoch(stats[0], nranks=4, cluster=slow_net,
+                                  scale_to_bytes=1e9,
+                                  async_renegotiation=True)
+        assert asynchronous.runtime < paused.runtime
+        assert asynchronous.runtime == pytest.approx(
+            1e9 / slow_net.network_bound(4), rel=0.02
+        )
+
+    def test_async_is_noop_when_storage_bound(self, tmp_path):
+        """When storage is the bottleneck, pauses were already masked."""
+        stats, _ = run_and_time_epochs(4, tmp_path, [(0, streams())], OPTS)
+        paused = time_epoch(stats[0], nranks=512, scale_to_bytes=50e9)
+        asynchronous = time_epoch(stats[0], nranks=512, scale_to_bytes=50e9,
+                                  async_renegotiation=True)
+        assert asynchronous.runtime == pytest.approx(paused.runtime, rel=0.02)

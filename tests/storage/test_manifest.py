@@ -1,0 +1,105 @@
+"""Unit tests for manifest blocks and footers."""
+
+import pytest
+
+from repro.storage.manifest import (
+    ENTRY_SIZE,
+    FOOTER_SIZE,
+    ManifestEntry,
+    ManifestError,
+    decode_footer,
+    decode_manifest_block,
+    encode_footer,
+    encode_manifest_block,
+    manifest_block_size,
+)
+
+
+def entry(offset=0, kmin=0.0, kmax=1.0, epoch=0, flags=0, sub_id=0):
+    return ManifestEntry(
+        offset=offset, length=100, count=10,
+        kmin=kmin, kmax=kmax, epoch=epoch, flags=flags, sub_id=sub_id,
+    )
+
+
+class TestManifestEntry:
+    def test_pack_unpack(self):
+        e = entry(offset=42, kmin=1.5, kmax=2.5, epoch=3, flags=1, sub_id=2)
+        assert ManifestEntry.unpack(e.pack()) == e
+
+    def test_pack_size(self):
+        assert len(entry().pack()) == ENTRY_SIZE
+
+    def test_overlaps(self):
+        e = entry(kmin=1.0, kmax=2.0)
+        assert e.overlaps(1.5, 3.0)
+        assert e.overlaps(0.0, 1.0)   # touching counts
+        assert e.overlaps(2.0, 5.0)
+        assert not e.overlaps(2.1, 5.0)
+        assert not e.overlaps(-1.0, 0.9)
+
+    def test_point_overlap(self):
+        assert entry(kmin=1.0, kmax=2.0).overlaps(1.5, 1.5)
+
+
+class TestManifestBlock:
+    def test_roundtrip(self):
+        entries = [entry(offset=i * 100) for i in range(5)]
+        block = encode_manifest_block(entries, epoch=2, prev_offset=7)
+        got, prev, epoch = decode_manifest_block(block)
+        assert got == entries
+        assert prev == 7
+        assert epoch == 2
+
+    def test_first_block_has_no_prev(self):
+        block = encode_manifest_block([entry()], 0, None)
+        _, prev, _ = decode_manifest_block(block)
+        assert prev is None
+
+    def test_empty_block(self):
+        block = encode_manifest_block([], 1, None)
+        got, _, epoch = decode_manifest_block(block)
+        assert got == [] and epoch == 1
+
+    def test_size_accounting(self):
+        block = encode_manifest_block([entry()] * 3, 0, None)
+        assert len(block) == manifest_block_size(3)
+
+    def test_crc_detects_corruption(self):
+        block = bytearray(encode_manifest_block([entry()], 0, None))
+        block[-6] ^= 0x01
+        with pytest.raises(ManifestError, match="CRC"):
+            decode_manifest_block(bytes(block))
+
+    def test_bad_magic(self):
+        block = encode_manifest_block([entry()], 0, None)
+        with pytest.raises(ManifestError, match="magic"):
+            decode_manifest_block(b"XXXX" + block[4:])
+
+    def test_truncation(self):
+        block = encode_manifest_block([entry()] * 2, 0, None)
+        with pytest.raises(ManifestError):
+            decode_manifest_block(block[: len(block) // 2])
+
+
+class TestFooter:
+    def test_roundtrip(self):
+        assert decode_footer(encode_footer(12345)) == 12345
+
+    def test_size(self):
+        assert len(encode_footer(0)) == FOOTER_SIZE
+
+    def test_crc(self):
+        f = bytearray(encode_footer(99))
+        f[5] ^= 0xFF
+        with pytest.raises(ManifestError, match="CRC"):
+            decode_footer(bytes(f))
+
+    def test_bad_magic(self):
+        f = encode_footer(99)
+        with pytest.raises(ManifestError, match="magic"):
+            decode_footer(b"ZZZZ" + f[4:])
+
+    def test_wrong_size(self):
+        with pytest.raises(ManifestError):
+            decode_footer(b"short")

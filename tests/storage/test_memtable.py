@@ -1,0 +1,96 @@
+"""Unit tests for memtables and double buffering."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import RecordBatch
+from repro.storage.memtable import DoubleBuffer, Memtable
+
+
+def batch(n, value_size=8):
+    return RecordBatch.from_keys(np.arange(n, dtype=np.float32),
+                                 value_size=value_size)
+
+
+class TestMemtable:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Memtable(0, 8)
+
+    def test_add_and_len(self):
+        m = Memtable(10, 8)
+        m.add(batch(3))
+        m.add(batch(2))
+        assert len(m) == 5
+
+    def test_is_full(self):
+        m = Memtable(4, 8)
+        m.add(batch(3))
+        assert not m.is_full
+        m.add(batch(1))
+        assert m.is_full
+
+    def test_can_exceed_capacity_transiently(self):
+        m = Memtable(2, 8)
+        m.add(batch(10))
+        assert len(m) == 10
+        assert m.is_full
+
+    def test_drain(self):
+        m = Memtable(10, 8)
+        m.add(batch(4))
+        out = m.drain()
+        assert len(out) == 4
+        assert len(m) == 0
+        assert not m.is_full
+
+    def test_drain_empty(self):
+        m = Memtable(10, 16)
+        out = m.drain()
+        assert len(out) == 0
+        assert out.value_size == 16
+
+    def test_value_size_enforced(self):
+        m = Memtable(10, 8)
+        with pytest.raises(ValueError):
+            m.add(batch(1, value_size=16))
+
+    def test_empty_add_ignored(self):
+        m = Memtable(10, 8)
+        m.add(RecordBatch.empty(8))
+        assert len(m) == 0
+
+    def test_nbytes(self):
+        m = Memtable(10, 8)
+        m.add(batch(5))
+        assert m.nbytes == 5 * 12  # 4B key + 8B value
+
+
+class TestDoubleBuffer:
+    def test_swap_returns_contents(self):
+        db = DoubleBuffer(4, 8)
+        db.add(batch(4))
+        assert db.should_flush
+        out = db.swap()
+        assert len(out) == 4
+        assert not db.should_flush
+        assert db.flush_swaps == 1
+
+    def test_swap_alternates_buffers(self):
+        db = DoubleBuffer(2, 8)
+        db.add(batch(2))
+        first = db.active
+        db.swap()
+        assert db.active is not first
+
+    def test_drain_all(self):
+        db = DoubleBuffer(4, 8)
+        db.add(batch(3))
+        db.swap()  # 3 records now in the spare (conceptually flushing)
+        # swap drains, so spare is empty; add more and drain everything
+        db.add(batch(2))
+        out = db.drain_all()
+        assert len(out) == 2
+
+    def test_drain_all_empty(self):
+        assert len(DoubleBuffer(4, 8).drain_all()) == 0

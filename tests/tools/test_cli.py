@@ -1,0 +1,192 @@
+"""End-to-end tests for the artifact-equivalent CLI tools."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.tools.compactor_cli import main as compactor_main
+from repro.tools.range_reader_cli import main as reader_main
+from repro.tools.range_runner import main as runner_main, reshard
+from repro.core.records import RecordBatch
+from repro.traces import io as trace_io
+from repro.traces.vpic import VpicTraceSpec, generate_timestep
+
+SPEC = VpicTraceSpec(nranks=8, particles_per_rank=500,
+                     timesteps=(200, 2000), seed=31, value_size=8)
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory):
+    d = tmp_path_factory.mktemp("cli_trace")
+    for i, ts in enumerate(SPEC.timesteps):
+        trace_io.write_timestep(d, ts, generate_timestep(SPEC, i))
+    return d
+
+
+@pytest.fixture(scope="module")
+def carp_dir(trace_dir, tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli_carp")
+    rc = runner_main([
+        "-i", str(trace_dir), "-o", str(out), "-n", "4",
+        "--pivots", "64", "--oob", "64", "--memtable", "256",
+    ])
+    assert rc == 0
+    return out
+
+
+class TestReshard:
+    def test_round_robin(self):
+        streams = [
+            RecordBatch.from_keys(np.full(10, r, np.float32), rank=r,
+                                  value_size=8)
+            for r in range(6)
+        ]
+        out = reshard(streams, 4)
+        assert len(out) == 4
+        assert [len(b) for b in out] == [20, 20, 10, 10]
+
+    def test_total_preserved(self):
+        streams = [
+            RecordBatch.from_keys(np.zeros(7, np.float32), rank=r,
+                                  value_size=8)
+            for r in range(3)
+        ]
+        assert sum(len(b) for b in reshard(streams, 8)) == 21
+
+
+class TestRangeRunner:
+    def test_produces_koidb_logs(self, carp_dir):
+        from repro.storage.log import list_logs
+
+        assert len(list_logs(carp_dir)) == 4
+
+    def test_all_records_stored(self, carp_dir):
+        from repro.query.engine import PartitionedStore
+
+        with PartitionedStore(carp_dir) as store:
+            assert store.total_records(0) == 4000
+            assert store.total_records(1) == 4000
+
+    def test_missing_trace_errors(self, tmp_path, capsys):
+        rc = runner_main(["-i", str(tmp_path / "nope"), "-o",
+                          str(tmp_path / "out")])
+        assert rc == 2
+
+    def test_unknown_timestep_errors(self, trace_dir, tmp_path):
+        rc = runner_main([
+            "-i", str(trace_dir), "-o", str(tmp_path / "out"),
+            "--timesteps", "999",
+        ])
+        assert rc == 2
+
+    def test_timestep_subset(self, trace_dir, tmp_path):
+        out = tmp_path / "subset"
+        rc = runner_main([
+            "-i", str(trace_dir), "-o", str(out), "-n", "4",
+            "--oob", "64", "--timesteps", "2000",
+        ])
+        assert rc == 0
+        from repro.query.engine import PartitionedStore
+
+        with PartitionedStore(out) as store:
+            assert store.epochs() == [0]
+
+
+class TestCompactor:
+    def test_compact_single_epoch(self, carp_dir, tmp_path):
+        out = tmp_path / "sorted"
+        rc = compactor_main(["-i", str(carp_dir), "-o", str(out), "-e", "0"])
+        assert rc == 0
+        assert (out / "0").is_dir()
+
+    def test_compact_all(self, carp_dir, tmp_path):
+        out = tmp_path / "sorted_all"
+        rc = compactor_main(["-i", str(carp_dir), "-o", str(out), "--all"])
+        assert rc == 0
+        assert (out / "0").is_dir() and (out / "1").is_dir()
+
+    def test_missing_input_errors(self, tmp_path):
+        rc = compactor_main(["-i", str(tmp_path / "nope"), "-o",
+                             str(tmp_path / "out"), "-e", "0"])
+        assert rc == 2
+
+
+class TestRangeReader:
+    def test_analyze(self, carp_dir, capsys):
+        rc = reader_main(["-i", str(carp_dir), "-a"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "median selectivity" in out
+        assert "epochs: [0, 1]" in out
+
+    def test_query(self, carp_dir, capsys):
+        rc = reader_main(["-i", str(carp_dir), "-q", "-e", "0",
+                          "-x", "0.0", "-y", "100.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "matched 4000 records" in out
+
+    def test_query_missing_args(self, carp_dir, capsys):
+        rc = reader_main(["-i", str(carp_dir), "-q"])
+        assert rc == 2
+
+    def test_batch(self, carp_dir, tmp_path, capsys):
+        batch = tmp_path / "batch.csv"
+        batch.write_text("0,0.1,0.5\n1,0.1,0.5\n")
+        qlog = tmp_path / "qlog.csv"
+        rc = reader_main(["-i", str(carp_dir), "-b", str(batch),
+                          "--querylog", str(qlog)])
+        assert rc == 0
+        rows = list(csv.reader(qlog.open()))
+        assert len(rows) == 3  # header + 2 queries
+
+    def test_missing_store_errors(self, tmp_path):
+        rc = reader_main(["-i", str(tmp_path / "nope"), "-a"])
+        assert rc == 2
+
+
+class TestTracegen:
+    def test_vpic_trace_generated(self, tmp_path):
+        from repro.tools.tracegen import main as tracegen_main
+
+        rc = tracegen_main([
+            "-o", str(tmp_path / "t"), "--workload", "vpic",
+            "--ranks", "4", "--records", "50",
+            "--timesteps", "200", "2000",
+        ])
+        assert rc == 0
+        assert trace_io.list_timesteps(tmp_path / "t") == [200, 2000]
+        assert len(trace_io.list_ranks(tmp_path / "t", 200)) == 4
+
+    def test_amr_trace_generated(self, tmp_path):
+        from repro.tools.tracegen import main as tracegen_main
+
+        rc = tracegen_main([
+            "-o", str(tmp_path / "t"), "--workload", "amr",
+            "--ranks", "2", "--records", "30",
+        ])
+        assert rc == 0
+        assert len(trace_io.list_timesteps(tmp_path / "t")) >= 1
+
+    def test_bad_geometry_errors(self, tmp_path):
+        from repro.tools.tracegen import main as tracegen_main
+
+        rc = tracegen_main(["-o", str(tmp_path / "t"), "--ranks", "0"])
+        assert rc == 2
+
+    def test_chains_into_range_runner(self, tmp_path):
+        from repro.tools.tracegen import main as tracegen_main
+
+        assert tracegen_main([
+            "-o", str(tmp_path / "t"), "--ranks", "4", "--records", "200",
+            "--timesteps", "200",
+        ]) == 0
+        assert runner_main([
+            "-i", str(tmp_path / "t"), "-o", str(tmp_path / "out"),
+            "-n", "2", "--oob", "64", "--memtable", "128",
+        ]) == 0
+        from repro.query.engine import PartitionedStore
+
+        with PartitionedStore(tmp_path / "out") as store:
+            assert store.total_records(0) == 800

@@ -1,0 +1,94 @@
+"""Tests for the synthetic AMR/Sedov trace — verifying Fig. 1b's
+documented behaviour (explosion dissipating into a medium band)."""
+
+import numpy as np
+import pytest
+
+from repro.traces.amr import (
+    AmrTraceSpec,
+    generate_rank_stream,
+    generate_timestep,
+    mixture_at,
+    timestep_keys,
+)
+
+SPEC = AmrTraceSpec(nranks=4, cells_per_rank=4000, seed=5)
+
+
+class TestMixtureSchedule:
+    def test_initially_mostly_cold(self):
+        w_cold, w_front, w_heated, _, _ = mixture_at(0.0)
+        assert w_cold > 0.85
+
+    def test_heated_band_grows(self):
+        _, _, h0, _, _ = mixture_at(0.0)
+        _, _, h1, _, _ = mixture_at(1.0)
+        assert h1 > 5 * h0
+
+    def test_front_dissipates(self):
+        _, _, _, f0, _ = mixture_at(0.0)
+        _, _, _, f1, _ = mixture_at(1.0)
+        assert f1 < f0 / 10
+
+    def test_weights_normalized(self):
+        for p in np.linspace(0, 1, 7):
+            w = mixture_at(p)[:3]
+            assert sum(w) == pytest.approx(1.0)
+
+
+class TestDistributionShape:
+    def test_early_mesh_mostly_zero_energy(self):
+        """Fig. 1b: initially most of the mesh has no energy."""
+        keys = timestep_keys(SPEC, 0)
+        assert np.mean(keys < 1e-3) > 0.7
+
+    def test_early_high_energy_spike_exists(self):
+        keys = timestep_keys(SPEC, 0)
+        assert keys.max() > 100.0
+
+    def test_medium_band_grows(self):
+        """Fig. 1b: energy dissipates into a medium band over time."""
+        early = timestep_keys(SPEC, 0)
+        late = timestep_keys(SPEC, SPEC.ntimesteps - 1)
+        med = lambda k: np.mean((k > 1.0) & (k < 50.0))
+        assert med(late) > 5 * med(early)
+
+    def test_peak_energy_decays(self):
+        early = timestep_keys(SPEC, 0)
+        late = timestep_keys(SPEC, SPEC.ntimesteps - 1)
+        assert np.quantile(late, 0.999) < np.quantile(early, 0.999)
+
+    def test_non_negative(self):
+        assert np.all(timestep_keys(SPEC, 3) >= 0)
+
+    def test_highly_skewed(self):
+        from repro.traces.stats import skewness
+
+        assert skewness(timestep_keys(SPEC, 1)) > 2.0
+
+
+class TestDeterminism:
+    def test_reproducible(self):
+        a = generate_rank_stream(SPEC, 2, 1)
+        b = generate_rank_stream(SPEC, 2, 1)
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_rank_skew_varies_streams(self):
+        a = generate_rank_stream(SPEC, 2, 0)
+        b = generate_rank_stream(SPEC, 2, 3)
+        assert not np.array_equal(a.keys, b.keys)
+
+    def test_timestep_count(self):
+        assert len(generate_timestep(SPEC, 0)) == SPEC.nranks
+
+    def test_bounds(self):
+        with pytest.raises(IndexError):
+            generate_rank_stream(SPEC, 99, 0)
+        with pytest.raises(IndexError):
+            generate_rank_stream(SPEC, 0, 99)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AmrTraceSpec(nranks=0)
+        with pytest.raises(ValueError):
+            AmrTraceSpec(cells_per_rank=0)

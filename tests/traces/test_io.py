@@ -1,0 +1,82 @@
+"""Tests for the eparticle trace format (paper artifact A2 layout)."""
+
+import numpy as np
+import pytest
+
+from repro.traces.io import (
+    list_ranks,
+    list_timesteps,
+    read_rank_keys,
+    read_timestep,
+    timestep_dir,
+    write_rank_file,
+    write_timestep,
+)
+from repro.traces.vpic import VpicTraceSpec, generate_timestep
+
+SPEC = VpicTraceSpec(nranks=3, particles_per_rank=100, seed=1)
+
+
+class TestLayout:
+    def test_artifact_directory_structure(self, tmp_path):
+        """Matches the artifact: T.<ts>/eparticle.<rank>."""
+        write_timestep(tmp_path, 200, generate_timestep(SPEC, 0))
+        assert (tmp_path / "T.200" / "eparticle.0").is_file()
+        assert (tmp_path / "T.200" / "eparticle.2").is_file()
+
+    def test_raw_float32_le_contents(self, tmp_path):
+        keys = np.array([1.5, -2.0], dtype=np.float32)
+        path = write_rank_file(tmp_path, 200, 0, keys)
+        assert path.read_bytes() == keys.astype("<f4").tobytes()
+        assert path.stat().st_size == 8  # 2 x 4 bytes
+
+    def test_list_timesteps(self, tmp_path):
+        for ts in (3800, 200, 2000):
+            write_timestep(tmp_path, ts, generate_timestep(SPEC, 0))
+        assert list_timesteps(tmp_path) == [200, 2000, 3800]
+
+    def test_list_ranks(self, tmp_path):
+        write_timestep(tmp_path, 200, generate_timestep(SPEC, 0))
+        assert list_ranks(tmp_path, 200) == [0, 1, 2]
+
+    def test_list_ranks_missing_timestep(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list_ranks(tmp_path, 999)
+
+    def test_ignores_unrelated_files(self, tmp_path):
+        write_timestep(tmp_path, 200, generate_timestep(SPEC, 0))
+        (tmp_path / "T.200" / "notes.txt").write_text("x")
+        (tmp_path / "README").write_text("x")
+        assert list_ranks(tmp_path, 200) == [0, 1, 2]
+        assert list_timesteps(tmp_path) == [200]
+
+
+class TestRoundtrip:
+    def test_keys_roundtrip_exactly(self, tmp_path):
+        streams = generate_timestep(SPEC, 1)
+        write_timestep(tmp_path, 600, streams)
+        for r, stream in enumerate(streams):
+            assert np.array_equal(read_rank_keys(tmp_path, 600, r), stream.keys)
+
+    def test_read_timestep_batches(self, tmp_path):
+        streams = generate_timestep(SPEC, 1)
+        write_timestep(tmp_path, 600, streams)
+        back = read_timestep(tmp_path, 600, value_size=8)
+        assert len(back) == 3
+        for orig, got in zip(streams, back):
+            assert np.array_equal(orig.keys, got.keys)
+            assert got.value_size == 8
+
+    def test_read_timestep_fresh_rids(self, tmp_path):
+        write_timestep(tmp_path, 600, generate_timestep(SPEC, 0))
+        a = read_timestep(tmp_path, 600, seq_offset=0)
+        b = read_timestep(tmp_path, 600, seq_offset=1000)
+        assert len(np.intersect1d(
+            np.concatenate([x.rids for x in a]),
+            np.concatenate([x.rids for x in b]),
+        )) == 0
+
+    def test_read_empty_timestep_dir(self, tmp_path):
+        timestep_dir(tmp_path, 42).mkdir(parents=True)
+        with pytest.raises(ValueError, match="no eparticle"):
+            read_timestep(tmp_path, 42)

@@ -1,0 +1,92 @@
+"""Tests for workload characterization utilities."""
+
+import numpy as np
+import pytest
+
+from repro.traces.stats import (
+    TimestepProfile,
+    band_fractions,
+    distribution_drift,
+    quantile_sketch,
+    skewness,
+)
+from repro.traces.vpic import VPIC_BANDS, VpicTraceSpec, timestep_keys
+
+
+class TestBandFractions:
+    def test_sums_to_one_when_bands_cover(self):
+        keys = np.array([0.5, 2.0, 20.0, 100.0])
+        fracs = band_fractions(keys, VPIC_BANDS)
+        assert fracs.sum() == pytest.approx(1.0)
+
+    def test_values(self):
+        keys = np.array([0.5, 0.7, 2.0, 100.0])
+        fracs = band_fractions(keys, ((0.0, 1.0), (1.0, np.inf)))
+        assert fracs.tolist() == [0.5, 0.5]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            band_fractions(np.array([]), VPIC_BANDS)
+
+
+class TestQuantileSketch:
+    def test_endpoints(self):
+        keys = np.arange(100, dtype=float)
+        q = quantile_sketch(keys, 11)
+        assert q[0] == 0.0 and q[-1] == 99.0
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        q = quantile_sketch(rng.lognormal(size=500))
+        assert np.all(np.diff(q) >= 0)
+
+
+class TestDrift:
+    def test_identical_distributions_zero(self):
+        keys = np.random.default_rng(0).random(1000)
+        assert distribution_drift(keys, keys) == pytest.approx(0.0)
+
+    def test_shifted_distributions_positive(self):
+        rng = np.random.default_rng(0)
+        a = rng.random(1000)
+        assert distribution_drift(a, a + 5.0) > 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.random(500), rng.lognormal(size=500)
+        assert distribution_drift(a, b) == pytest.approx(distribution_drift(b, a))
+
+    def test_vpic_drift_nonzero_between_timesteps(self):
+        spec = VpicTraceSpec(nranks=2, particles_per_rank=3000)
+        early = timestep_keys(spec, 0)
+        late = timestep_keys(spec, spec.ntimesteps - 1)
+        adjacent = timestep_keys(spec, 1)
+        assert distribution_drift(early, late) > distribution_drift(early, adjacent)
+
+
+class TestSkewness:
+    def test_symmetric_near_zero(self):
+        rng = np.random.default_rng(0)
+        assert abs(skewness(rng.normal(size=20000))) < 0.1
+
+    def test_lognormal_positive(self):
+        rng = np.random.default_rng(0)
+        assert skewness(rng.lognormal(size=5000)) > 1.0
+
+    def test_constant_is_zero(self):
+        assert skewness(np.full(10, 3.0)) == 0.0
+
+    def test_needs_two(self):
+        with pytest.raises(ValueError):
+            skewness(np.array([1.0]))
+
+
+class TestTimestepProfile:
+    def test_from_keys(self):
+        keys = np.array([0.1, 0.5, 2.0, 30.0])
+        prof = TimestepProfile.from_keys(200, keys, VPIC_BANDS)
+        assert prof.timestep == 200
+        assert prof.count == 4
+        assert prof.kmin == pytest.approx(0.1)
+        assert prof.kmax == pytest.approx(30.0)
+        assert sum(prof.band_fracs) == pytest.approx(1.0)

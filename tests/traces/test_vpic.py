@@ -1,0 +1,123 @@
+"""Tests for the synthetic VPIC trace generator — verifying the paper's
+documented distribution characteristics (Fig. 1a)."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import rid_rank
+from repro.traces.vpic import (
+    DEFAULT_TIMESTEPS,
+    VpicTraceSpec,
+    generate_rank_stream,
+    generate_timestep,
+    sample_energies,
+    tail_center,
+    tail_weight,
+    timestep_keys,
+)
+
+SPEC = VpicTraceSpec(nranks=4, particles_per_rank=4000, seed=3)
+
+
+class TestSpec:
+    def test_defaults(self):
+        assert len(DEFAULT_TIMESTEPS) == 12  # the paper indexes 12 timesteps
+
+    def test_progress(self):
+        assert SPEC.progress(0) == 0.0
+        assert SPEC.progress(SPEC.ntimesteps - 1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VpicTraceSpec(nranks=0)
+        with pytest.raises(ValueError):
+            VpicTraceSpec(particles_per_rank=0)
+        with pytest.raises(ValueError):
+            VpicTraceSpec(timesteps=())
+
+
+class TestDistributionShape:
+    def test_energies_non_negative(self):
+        keys = timestep_keys(SPEC, 0)
+        assert np.all(keys >= 0)
+
+    def test_early_mass_in_unit_band(self):
+        """Fig. 1a: most particles fall between 0 and 1."""
+        keys = timestep_keys(SPEC, 0)
+        assert np.mean(keys < 1.0) > 0.8
+
+    def test_tail_grows_over_time(self):
+        early = timestep_keys(SPEC, 0)
+        late = timestep_keys(SPEC, SPEC.ntimesteps - 1)
+        assert np.mean(late > 1.0) > np.mean(early > 1.0)
+
+    def test_late_tail_fraction_20_to_35_pct(self):
+        """Fig. 1a: 20-30% of late-run data sits in the tail."""
+        late = timestep_keys(SPEC, SPEC.ntimesteps - 1)
+        frac = np.mean(late > 1.0)
+        assert 0.18 < frac < 0.40
+
+    def test_late_second_mode_in_16_64_band(self):
+        """Fig. 1a: the late second mode lies between 16 and 64."""
+        late = timestep_keys(SPEC, SPEC.ntimesteps - 1)
+        tail = late[late > 4.0]
+        med = np.median(tail)
+        assert 16.0 < med < 64.0
+
+    def test_distribution_is_skewed(self):
+        from repro.traces.stats import skewness
+
+        keys = timestep_keys(SPEC, 5)
+        assert skewness(keys) > 2.0
+
+    def test_tail_weight_schedule_monotone(self):
+        ws = [tail_weight(p) for p in np.linspace(0, 1, 11)]
+        assert all(b >= a for a, b in zip(ws, ws[1:]))
+        assert ws[0] < 0.05 and ws[-1] > 0.25
+
+    def test_tail_center_schedule(self):
+        assert tail_center(0.0) == pytest.approx(2.0)
+        assert 16.0 < tail_center(1.0) <= 64.0
+
+
+class TestDeterminism:
+    def test_reproducible(self):
+        a = generate_rank_stream(SPEC, 3, 1)
+        b = generate_rank_stream(SPEC, 3, 1)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.rids, b.rids)
+
+    def test_seed_changes_data(self):
+        other = VpicTraceSpec(nranks=4, particles_per_rank=4000, seed=99)
+        a = generate_rank_stream(SPEC, 0, 0)
+        b = generate_rank_stream(other, 0, 0)
+        assert not np.array_equal(a.keys, b.keys)
+
+    def test_ranks_differ(self):
+        a = generate_rank_stream(SPEC, 0, 0)
+        b = generate_rank_stream(SPEC, 0, 1)
+        assert not np.array_equal(a.keys, b.keys)
+
+    def test_rids_unique_across_timesteps_and_ranks(self):
+        rids = np.concatenate(
+            [b.rids for ts in (0, 1) for b in generate_timestep(SPEC, ts)]
+        )
+        assert len(np.unique(rids)) == len(rids)
+
+    def test_rids_carry_rank(self):
+        b = generate_rank_stream(SPEC, 0, 2)
+        assert np.all(rid_rank(b.rids) == 2)
+
+
+class TestBoundsChecks:
+    def test_timestep_bounds(self):
+        with pytest.raises(IndexError):
+            generate_rank_stream(SPEC, 99, 0)
+
+    def test_rank_bounds(self):
+        with pytest.raises(IndexError):
+            generate_rank_stream(SPEC, 0, 99)
+
+    def test_sample_zero(self):
+        rng = np.random.default_rng(0)
+        assert len(sample_energies(0.5, 0, rng)) == 0

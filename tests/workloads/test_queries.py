@@ -1,0 +1,71 @@
+"""Tests for the Fig. 7a query-suite construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.queries import (
+    DEFAULT_SELECTIVITIES,
+    achieved_selectivity,
+    build_query_suite,
+    query_for_selectivity,
+)
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = np.random.default_rng(0)
+    return rng.lognormal(0, 1.5, 50_000)
+
+
+class TestQueryForSelectivity:
+    def test_hits_target(self, keys):
+        for s in (0.001, 0.01, 0.1):
+            spec = query_for_selectivity(keys, s)
+            assert achieved_selectivity(keys, spec) == pytest.approx(s, rel=0.25)
+
+    def test_anchor_positions_query(self, keys):
+        low = query_for_selectivity(keys, 0.01, anchor=0.1)
+        high = query_for_selectivity(keys, 0.01, anchor=0.9)
+        assert low.hi < high.lo
+
+    def test_anchor_clamped_at_edges(self, keys):
+        spec = query_for_selectivity(keys, 0.2, anchor=0.0)
+        assert achieved_selectivity(keys, spec) == pytest.approx(0.2, rel=0.25)
+        spec = query_for_selectivity(keys, 0.2, anchor=1.0)
+        assert achieved_selectivity(keys, spec) == pytest.approx(0.2, rel=0.25)
+
+    def test_validation(self, keys):
+        with pytest.raises(ValueError):
+            query_for_selectivity(keys, 0.0)
+        with pytest.raises(ValueError):
+            query_for_selectivity(keys, 0.5, anchor=2.0)
+        with pytest.raises(ValueError):
+            query_for_selectivity(np.array([]), 0.1)
+
+    @given(sel=st.floats(0.001, 1.0), anchor=st.floats(0, 1))
+    @settings(max_examples=40)
+    def test_bounds_ordered(self, sel, anchor):
+        rng = np.random.default_rng(1)
+        ks = rng.random(2000)
+        spec = query_for_selectivity(ks, sel, anchor)
+        assert spec.lo <= spec.hi
+
+
+class TestBuildSuite:
+    def test_eight_queries_by_default(self, keys):
+        suite = build_query_suite(keys)
+        assert len(suite) == len(DEFAULT_SELECTIVITIES) == 8
+
+    def test_selectivity_ladder(self, keys):
+        suite = build_query_suite(keys)
+        assert [q.target_selectivity for q in suite] == list(DEFAULT_SELECTIVITIES)
+
+    def test_spans_selectivity_decades(self):
+        """The paper's ladder covers 0.01% to 10%."""
+        assert min(DEFAULT_SELECTIVITIES) == pytest.approx(1e-4)
+        assert max(DEFAULT_SELECTIVITIES) == pytest.approx(0.10)
+
+    def test_anchors_vary(self, keys):
+        suite = build_query_suite(keys)
+        assert len({q.anchor for q in suite}) > 1

@@ -1,0 +1,151 @@
+"""Tests for the YCSB workload primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.ycsb import (
+    ScrambledZipfianGenerator,
+    SSTRangeQuery,
+    ZipfianGenerator,
+    fnvhash64,
+    sst_query_to_key_range,
+    workload_e_batch,
+)
+
+
+class TestFnvHash:
+    def test_deterministic(self):
+        assert np.array_equal(fnvhash64(np.arange(10)), fnvhash64(np.arange(10)))
+
+    def test_known_values_differ(self):
+        h = fnvhash64(np.array([0, 1, 2]))
+        assert len(set(h.tolist())) == 3
+
+    def test_avalanche(self):
+        """Adjacent inputs produce far-apart hashes."""
+        h = fnvhash64(np.array([100, 101]))
+        assert abs(int(h[0]) - int(h[1])) > 2**32
+
+    def test_matches_scalar_reference(self):
+        """Cross-check vectorized FNV against a direct reimplementation."""
+
+        def ref(v):
+            h = 0xCBF29CE484222325
+            for shift in range(0, 64, 8):
+                h ^= (v >> shift) & 0xFF
+                h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+            return h
+
+        vals = [0, 1, 255, 256, 12345678901234]
+        got = fnvhash64(np.array(vals, dtype=np.uint64))
+        assert got.tolist() == [ref(v) for v in vals]
+
+
+class TestZipfian:
+    def test_range(self):
+        gen = ZipfianGenerator(1000, seed=0)
+        samples = gen.sample(5000)
+        assert samples.min() >= 0
+        assert samples.max() < 1000
+
+    def test_item_zero_most_popular(self):
+        gen = ZipfianGenerator(1000, seed=0)
+        counts = np.bincount(gen.sample(50_000), minlength=1000)
+        assert counts[0] == counts.max()
+        assert counts[0] > 10 * counts[500:].mean()
+
+    def test_zipf_law_roughly(self):
+        """frequency(rank k) ~ 1/k^theta."""
+        gen = ZipfianGenerator(10_000, theta=0.99, seed=1)
+        counts = np.bincount(gen.sample(200_000), minlength=10_000)
+        # ratio of item 0 to item 9 ~ 10^0.99 ~ 9.8, allow slack
+        ratio = counts[0] / max(counts[9], 1)
+        assert 4 < ratio < 25
+
+    def test_deterministic_with_seed(self):
+        a = ZipfianGenerator(100, seed=5).sample(50)
+        b = ZipfianGenerator(100, seed=5).sample(50)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.5)
+
+    @given(n=st.integers(2, 5000), seed=st.integers(0, 100))
+    @settings(max_examples=30)
+    def test_samples_always_in_range(self, n, seed):
+        samples = ZipfianGenerator(n, seed=seed).sample(200)
+        assert np.all((samples >= 0) & (samples < n))
+
+
+class TestScrambledZipfian:
+    def test_spreads_hot_items(self):
+        """Scrambling moves popularity off the low ids."""
+        gen = ScrambledZipfianGenerator(1000, seed=0)
+        samples = gen.sample(20_000)
+        # the most popular item can be anywhere; low ids are not special
+        counts = np.bincount(samples, minlength=1000)
+        low_mass = counts[:10].sum() / counts.sum()
+        assert low_mass < 0.5
+
+    def test_still_skewed(self):
+        gen = ScrambledZipfianGenerator(1000, seed=0)
+        counts = np.bincount(gen.sample(50_000), minlength=1000)
+        assert counts.max() > 20 * np.median(counts[counts > 0])
+
+    def test_range(self):
+        samples = ScrambledZipfianGenerator(50, seed=1).sample(1000)
+        assert np.all((samples >= 0) & (samples < 50))
+
+
+class TestWorkloadE:
+    def test_batch_size_and_width(self):
+        batch = workload_e_batch(n_ssts=1000, width=20, count=100, seed=0)
+        assert len(batch) == 100
+        assert all(q.width == 20 for q in batch)
+
+    def test_scans_stay_in_range(self):
+        batch = workload_e_batch(500, 50, 200, seed=1)
+        assert all(0 <= q.start_sst and q.end_sst < 500 for q in batch)
+
+    def test_order_scrambled(self):
+        """Batch order is FNV-randomized, not sorted by popularity."""
+        batch = workload_e_batch(1000, 5, 200, seed=2)
+        starts = [q.start_sst for q in batch]
+        assert starts != sorted(starts)
+
+    def test_starts_zipfian_skewed(self):
+        batch = workload_e_batch(10_000, 5, 2000, seed=3)
+        starts = np.array([q.start_sst for q in batch])
+        assert np.median(starts) < 10_000 / 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            workload_e_batch(10, 11, 5)
+        with pytest.raises(ValueError):
+            workload_e_batch(10, 5, 0)
+
+    def test_deterministic(self):
+        a = workload_e_batch(100, 5, 20, seed=7)
+        b = workload_e_batch(100, 5, 20, seed=7)
+        assert a == b
+
+
+class TestSSTToKeyRange:
+    def test_translation(self):
+        bounds = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        lo, hi = sst_query_to_key_range(SSTRangeQuery(1, 2), bounds)
+        assert (lo, hi) == (1.0, 3.0)
+
+    def test_full_span(self):
+        bounds = np.array([0.0, 1.0, 2.0])
+        lo, hi = sst_query_to_key_range(SSTRangeQuery(0, 1), bounds)
+        assert (lo, hi) == (0.0, 2.0)
+
+    def test_out_of_range_rejected(self):
+        bounds = np.array([0.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            sst_query_to_key_range(SSTRangeQuery(1, 2), bounds)

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Repository lint gate.
+#
+#   carp-lint  — always runs (no third-party deps; rules catalogued in
+#                docs/INVARIANTS.md)
+#   ruff       — runs when installed (pip install -e '.[lint]')
+#   mypy       — runs when installed; strict on repro.core/storage/sim
+#
+# Exit non-zero if any available checker finds a problem.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+
+echo "== carp-lint =="
+PYTHONPATH=src python -m repro.analysis.cli src/repro || status=1
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests scripts || status=1
+else
+    echo "== ruff == (not installed; skipping — pip install -e '.[lint]')"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy =="
+    mypy src/repro/core src/repro/storage src/repro/sim || status=1
+else
+    echo "== mypy == (not installed; skipping — pip install -e '.[lint]')"
+fi
+
+exit "$status"

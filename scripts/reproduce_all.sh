@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 
 pip install -e .
 
+echo "== lint gate (carp-lint; ruff/mypy when installed) =="
+bash scripts/lint.sh
+
 echo "== unit / property / integration tests =="
 pytest tests/ 2>&1 | tee test_output.txt
 

@@ -1,0 +1,108 @@
+"""Cost-accounting rules (C-family).
+
+The temporal simulation (``repro.sim``) exists to price every byte the
+logical run moves — through the shuffle overlay, into KoiDB logs, out
+to query clients.  An I/O action that is performed but never charged
+to the :class:`~repro.sim.iomodel.IOModel` /
+:class:`~repro.sim.netmodel.NetModel` silently inflates the simulated
+throughput, which is exactly the kind of drift that invalidates the
+paper-reproduction figures.
+
+C301
+    A function in ``repro.sim`` that (directly) performs an I/O action
+    — appends to a KoiDB log, sends over the shuffle overlay, ingests
+    into storage — from which no cost-model charge is reachable, in
+    either direction, along the module's call graph.  A helper may do
+    raw I/O if every caller charges for it, and an orchestrator may
+    charge on behalf of its helpers; what is flagged is an I/O action
+    with *no* charge anywhere on its call paths.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import (
+    FileContext,
+    Rule,
+    Violation,
+    build_call_graph,
+    called_names,
+    callers_of,
+    iter_functions,
+    reachable,
+)
+
+COST_SCOPE = ("repro.sim",)
+
+#: Terminal call names that perform (simulated) I/O: log appends,
+#: overlay sends, storage ingestion.
+IO_OPERATIONS = frozenset(
+    {
+        "append_batch",
+        "flush_epoch",
+        "ingest",
+        "ingest_epoch",
+        "send",
+        "read_sst",
+        "read_sst_keys",
+    }
+)
+
+#: Terminal call names that charge a cost model.
+CHARGE_OPERATIONS = frozenset(
+    {
+        "read_time",
+        "random_read_time",
+        "merge_time",
+        "scan_time",
+        "message_time",
+        "broadcast_time",
+        "renegotiation_time",
+        "shuffle_flush_time",
+        "simulate_ingestion",
+        "post_processing_throughput",
+        "price_renegotiations",
+        "time_epoch",
+        "charge",
+    }
+)
+
+
+class UnchargedIORule(Rule):
+    id = "C301"
+    name = "uncharged-io"
+    description = "simulated I/O with no reachable cost-model charge"
+    scope = COST_SCOPE
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        graph = build_call_graph(ctx.tree)
+        charged: set[str] = set()
+        for fn_name in graph:
+            if reachable(graph, fn_name) & CHARGE_OPERATIONS:
+                charged.add(fn_name)
+        out: list[Violation] = []
+        for qual, fn in iter_functions(ctx.tree):
+            name = qual.split(".")[-1]
+            direct_io = sorted(
+                {n for n, _ in called_names(fn)} & IO_OPERATIONS
+            )
+            if not direct_io:
+                continue
+            # a charge is acceptable in the function itself, below it,
+            # or in any ancestor along the module call graph
+            if name in charged:
+                continue
+            ancestors = callers_of(graph, name)
+            if ancestors & charged:
+                continue
+            out.append(
+                self.violation(
+                    ctx, fn,
+                    f"{qual}() performs I/O ({', '.join(direct_io)}) but no "
+                    "iomodel/netmodel charge is reachable from it or its "
+                    "callers — this I/O escapes the simulation's accounting",
+                )
+            )
+        return out
+
+
+COSTMODEL_RULES: tuple[Rule, ...] = (UnchargedIORule(),)

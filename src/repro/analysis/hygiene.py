@@ -1,0 +1,203 @@
+"""Generic hygiene rules (H-family).
+
+Repo-agnostic checks that ride along with the invariant rules: the
+classic Python footguns that tend to surface as heisenbugs in long
+simulation runs.
+
+H001  mutable default argument
+H002  bare ``except:``
+H003  ``== None`` / ``!= None`` comparison
+H004  assert on a non-empty tuple literal (always true)
+H005  ``eval`` / ``exec``
+H006  unused import (skipped for ``__init__.py`` re-export modules)
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import FileContext, Rule, Violation
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "deque"})
+
+
+class MutableDefaultRule(Rule):
+    id = "H001"
+    name = "mutable-default"
+    description = "mutable default argument"
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                bad = isinstance(default, _MUTABLE_LITERALS) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in _MUTABLE_CALLS
+                )
+                if bad:
+                    out.append(
+                        self.violation(
+                            ctx, default,
+                            f"mutable default argument in {node.name}() is "
+                            "shared across calls — default to None instead",
+                        )
+                    )
+        return out
+
+
+class BareExceptRule(Rule):
+    id = "H002"
+    name = "bare-except"
+    description = "bare except clause"
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                out.append(
+                    self.violation(
+                        ctx, node,
+                        "bare except catches SystemExit/KeyboardInterrupt — "
+                        "name the exceptions this handler expects",
+                    )
+                )
+        return out
+
+
+class NoneComparisonRule(Rule):
+    id = "H003"
+    name = "none-comparison"
+    description = "equality comparison against None"
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, right in zip(node.ops, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if any(
+                    isinstance(o, ast.Constant) and o.value is None
+                    for o in (node.left, right)
+                ):
+                    out.append(
+                        self.violation(
+                            ctx, node,
+                            "comparison to None with ==/!= — use 'is None' / "
+                            "'is not None'",
+                        )
+                    )
+                    break
+        return out
+
+
+class AssertTupleRule(Rule):
+    id = "H004"
+    name = "assert-tuple"
+    description = "assert on a non-empty tuple literal"
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Assert)
+                and isinstance(node.test, ast.Tuple)
+                and node.test.elts
+            ):
+                out.append(
+                    self.violation(
+                        ctx, node,
+                        "assert on a tuple literal is always true — "
+                        "parenthesized assert message?",
+                    )
+                )
+        return out
+
+
+class EvalExecRule(Rule):
+    id = "H005"
+    name = "eval-exec"
+    description = "eval()/exec() call"
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("eval", "exec")
+            ):
+                out.append(
+                    self.violation(
+                        ctx, node,
+                        f"{node.func.id}() on dynamic input — restructure to "
+                        "avoid runtime code execution",
+                    )
+                )
+        return out
+
+
+class UnusedImportRule(Rule):
+    id = "H006"
+    name = "unused-import"
+    description = "imported name never used"
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        if ctx.path.name == "__init__.py":
+            return []  # re-export modules import for namespace effect
+        imported: dict[str, ast.AST] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = (alias.asname or alias.name).split(".")[0]
+                    imported[local] = node
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    if alias.name == "__future__" or node.module == "__future__":
+                        continue
+                    imported[alias.asname or alias.name] = node
+        if not imported:
+            return []
+        used: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                pass  # roots show up as Name nodes anyway
+        # names referenced inside string annotations or __all__
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                for name in imported:
+                    if name in node.value:
+                        used.add(name)
+        out: list[Violation] = []
+        for name, node in sorted(imported.items()):
+            if name not in used:
+                out.append(
+                    self.violation(
+                        ctx, node, f"imported name {name!r} is never used"
+                    )
+                )
+        return out
+
+
+HYGIENE_RULES: tuple[Rule, ...] = (
+    MutableDefaultRule(),
+    BareExceptRule(),
+    NoneComparisonRule(),
+    AssertTupleRule(),
+    EvalExecRule(),
+    UnusedImportRule(),
+)

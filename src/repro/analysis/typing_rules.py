@@ -1,0 +1,91 @@
+"""Typing rules (T-family).
+
+``mypy --strict`` (wired into CI for ``repro.core``, ``repro.storage``
+and ``repro.sim``) is the real enforcement; these AST rules catch the
+annotation gaps mypy would reject without needing mypy installed, so
+``carp-lint`` alone keeps the strict surface from regressing in
+environments where mypy is unavailable.
+
+T401  public function/method without a return annotation
+T402  public function/method parameter without an annotation
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import FileContext, Rule, Violation, iter_functions
+
+TYPING_SCOPE = ("repro.core", "repro.storage", "repro.sim")
+
+#: Dunders whose signatures are fixed by the data model anyway.
+_EXEMPT_NAMES = frozenset({"__init_subclass__", "__class_getitem__"})
+
+
+def _is_public(qual: str) -> bool:
+    parts = qual.split(".")
+    name = parts[-1]
+    if name in _EXEMPT_NAMES:
+        return False
+    if name.startswith("__") and name.endswith("__"):
+        return True  # dunders on public classes still need annotations
+    return not any(p.startswith("_") for p in parts)
+
+
+class MissingReturnAnnotationRule(Rule):
+    id = "T401"
+    name = "missing-return-annotation"
+    description = "public function without a return annotation"
+    scope = TYPING_SCOPE
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for qual, fn in iter_functions(ctx.tree):
+            if not _is_public(qual):
+                continue
+            if fn.returns is None:
+                out.append(
+                    self.violation(
+                        ctx, fn,
+                        f"{qual}() has no return annotation (strict typing "
+                        "surface)",
+                    )
+                )
+        return out
+
+
+class MissingParamAnnotationRule(Rule):
+    id = "T402"
+    name = "missing-param-annotation"
+    description = "public function parameter without an annotation"
+    scope = TYPING_SCOPE
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for qual, fn in iter_functions(ctx.tree):
+            if not _is_public(qual):
+                continue
+            args = fn.args
+            params = [
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+            ]
+            if args.vararg is not None:
+                params.append(args.vararg)
+            if args.kwarg is not None:
+                params.append(args.kwarg)
+            for i, param in enumerate(params):
+                if i == 0 and param.arg in ("self", "cls"):
+                    continue
+                if param.annotation is None:
+                    out.append(
+                        self.violation(
+                            ctx, param,
+                            f"parameter {param.arg!r} of {qual}() has no "
+                            "annotation (strict typing surface)",
+                        )
+                    )
+        return out
+
+
+TYPING_RULES: tuple[Rule, ...] = (
+    MissingReturnAnnotationRule(),
+    MissingParamAnnotationRule(),
+)

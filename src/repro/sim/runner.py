@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.carp import CarpRun, EpochStats
+from repro.core.config import CarpOptions
 from repro.core.records import RecordBatch
 from repro.sim.cluster import ClusterSpec, PAPER_CLUSTER
 from repro.sim.engine import PipelineResult, simulate_ingestion
@@ -92,7 +93,7 @@ def run_and_time_epochs(
     nranks: int,
     out_dir: Path | str,
     epochs: list[tuple[int, list[RecordBatch]]],
-    options=None,
+    options: CarpOptions | None = None,
     cluster: ClusterSpec | None = None,
     scale_to_bytes: float | None = None,
 ) -> tuple[list[EpochStats], list[EpochTiming]]:

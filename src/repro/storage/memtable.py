@@ -88,5 +88,9 @@ class DoubleBuffer:
 
     def drain_all(self) -> RecordBatch:
         """Drain both buffers (epoch-end flush)."""
-        parts = [self.spare.drain(), self.active.drain()]
-        return RecordBatch.concat([p for p in parts if len(p)])
+        parts = [p for p in (self.spare.drain(), self.active.drain()) if len(p)]
+        if not parts:
+            # concat of nothing falls back to the paper's default value
+            # size; an empty drain must keep this buffer's configured one.
+            return RecordBatch.empty(self.active.value_size)
+        return RecordBatch.concat(parts)

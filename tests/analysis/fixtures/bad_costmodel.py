@@ -1,0 +1,33 @@
+"""Fixture: C301 — simulated I/O that escapes cost-model accounting."""
+
+
+class LeakySimulator:
+    """Ships bytes through the overlay without charging the netmodel."""
+
+    def __init__(self, flow, koidb, netmodel):
+        self.flow = flow
+        self.koidb = koidb
+        self.net = netmodel
+        self.clock = 0.0
+
+    def push_round(self, dest, batch, version):
+        # C301: sends over the overlay, charges nothing, and no caller
+        # in this module charges either
+        self.flow.send(dest, batch, version)
+
+    def flush_to_disk(self, batch, epoch):
+        # C301: appends to the log, no iomodel charge anywhere
+        self.koidb.log.append_batch(batch, epoch)
+
+    def charged_push(self, dest, batch, version, nbytes):
+        # properly charged I/O must NOT be flagged
+        self.flow.send(dest, batch, version)
+        self.clock += self.net.message_time(nbytes)
+
+    def _raw_send(self, dest, batch, version):
+        # helper does raw I/O, but its only caller charges: not flagged
+        self.flow.send(dest, batch, version)
+
+    def charged_via_caller(self, dest, batch, version, nbytes):
+        self._raw_send(dest, batch, version)
+        self.clock += self.net.message_time(nbytes)

@@ -1,0 +1,43 @@
+"""Fixture: every D-rule violation in one file.
+
+Outside any ``repro`` package the module path is unknown, which
+carp-lint treats as in-scope — exactly what lets this corpus exercise
+the scoped rules.
+"""
+# carp-lint: disable=T401,T402
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def wall_clock_timestamp():
+    started = time.time()  # D101
+    now = datetime.now()  # D101
+    return started, now
+
+
+def unseeded_generators():
+    gen = np.random.default_rng()  # D102
+    legacy = random.Random()  # D102
+    return gen, legacy
+
+
+def global_state_draws(n):
+    a = random.random()  # D103
+    b = np.random.rand(n)  # D103
+    np.random.shuffle(b)  # D103
+    return a, b
+
+
+def salted_bucket(key, nbuckets):
+    return hash(key) % nbuckets  # D104
+
+
+def seeded_is_fine(seed):
+    # properly seeded RNGs must NOT be flagged
+    gen = np.random.default_rng(seed)
+    kw = np.random.default_rng(seed=seed)
+    return gen, kw

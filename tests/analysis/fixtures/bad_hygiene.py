@@ -1,0 +1,33 @@
+"""Fixture: one of every H-rule violation."""
+# carp-lint: disable=T401,T402
+
+import json  # H006: never used
+import os
+
+
+def append_item(item, bucket=[]):  # H001
+    bucket.append(item)
+    return bucket
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # H002
+        return None
+
+
+def is_unset(value):
+    return value == None  # H003
+
+
+def check_invariant(flag):
+    assert (flag, "flag must be set")  # H004
+
+
+def run_snippet(snippet):
+    return eval(snippet)  # H005
+
+
+def cwd():
+    return os.getcwd()

@@ -1,0 +1,18 @@
+"""Fixture: T-rule violations — the strict-typing surface with holes."""
+
+
+def unannotated_return(x: int):  # T401
+    return x * 2
+
+
+def unannotated_param(x) -> int:  # T402
+    return x + 1
+
+
+class PublicThing:
+    def method(self, count):  # T401 + T402
+        return count
+
+    def _private_ok(self, anything):
+        # private methods are outside the enforced surface
+        return anything

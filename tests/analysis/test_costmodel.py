@@ -1,0 +1,50 @@
+"""C301: call-graph detection of uncharged simulated I/O."""
+
+from repro.analysis import lint_paths, select_rules
+
+
+def test_fixture_flags_only_uncharged_methods(fixtures_dir):
+    result = lint_paths(
+        [fixtures_dir / "bad_costmodel.py"], rules=select_rules(["C"])
+    )
+    assert len(result.violations) == 2
+    flagged = {v.message.split("(")[0] for v in result.violations}
+    assert any("push_round" in m for m in flagged)
+    assert any("flush_to_disk" in m for m in flagged)
+    # charged_push / charged_via_caller / _raw_send must not be flagged
+    assert not any("charged" in m for m in flagged)
+    assert not any("_raw_send" in m for m in flagged)
+
+
+def test_charge_in_descendant_counts(tmp_path):
+    src = '''
+class Sim:
+    def ship(self, flow, net, dest, batch, nbytes):
+        flow.send(dest, batch, 0)
+        self._account(net, nbytes)
+
+    def _account(self, net, nbytes):
+        self.clock += net.message_time(nbytes)
+'''
+    path = tmp_path / "sim_ok.py"
+    path.write_text(src)
+    result = lint_paths([path], rules=select_rules(["C"]))
+    assert result.violations == []
+
+
+def test_io_with_no_charge_anywhere_is_flagged(tmp_path):
+    src = '''
+class Sim:
+    def ship(self, flow, dest, batch):
+        flow.send(dest, batch, 0)
+'''
+    path = tmp_path / "sim_bad.py"
+    path.write_text(src)
+    result = lint_paths([path], rules=select_rules(["C"]))
+    assert len(result.violations) == 1
+    assert result.violations[0].rule == "C301"
+
+
+def test_repo_sim_layer_is_charge_clean(repo_src):
+    result = lint_paths([repo_src / "sim"], rules=select_rules(["C"]))
+    assert result.violations == [], [str(v.format()) for v in result.violations]

@@ -1,0 +1,108 @@
+"""F-family rules: struct drift, unpaired formats, CRC-less readers."""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths, select_rules
+from repro.analysis.core import FileContext
+from repro.analysis.formats import (
+    FORMAT_RULES,
+    format_field_count,
+    module_string_constants,
+)
+
+
+def _rule(rule_id: str):
+    return next(r for r in FORMAT_RULES if r.id == rule_id)
+
+
+def test_format_field_count():
+    assert format_field_count("<4sHHIIQddQQII") == 12
+    assert format_field_count("<QQQddIHH") == 8
+    assert format_field_count("<4sQI") == 3
+    assert format_field_count("<4x") == 0
+    assert format_field_count("3I") == 3
+    assert format_field_count("<10s2H") == 3
+
+
+def test_module_string_constants():
+    src = '_FMT = "<QQ"\nOTHER = 3\nNAME = "plain"\n'
+    consts = module_string_constants(
+        FileContext.from_source(src, Path("m.py")).tree
+    )
+    assert consts == {"_FMT": "<QQ", "NAME": "plain"}
+
+
+def test_fixture_triggers_every_f_rule(fixtures_dir):
+    result = lint_paths(
+        [fixtures_dir / "bad_format.py"], rules=select_rules(["F"])
+    )
+    by_rule = result.by_rule()
+    # pack arity (3 vs 4) and unpack arity (5 vs 4)
+    assert len(by_rule.get("F201", [])) == 2
+    # _ORPHAN_FMT and NATIVE_FMT packed, never unpacked
+    assert len(by_rule.get("F202", [])) == 2
+    assert len(by_rule.get("F203", [])) == 1
+    # encode_record_block (no CRC) + decode_index_block (unchecked)
+    assert len(by_rule.get("F204", [])) == 2
+
+
+def test_paired_crc_checked_roundtrip_is_clean(tmp_path):
+    src = '''
+import struct
+import zlib
+
+_FMT = "<4sQ"
+
+
+def encode_thing(magic: bytes, value: int) -> bytes:
+    body = struct.pack(_FMT, magic, value)
+    return body + (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
+
+
+def decode_thing(data: bytes) -> tuple:
+    body, crc = data[:-4], data[-4:]
+    if (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(4, "little") != crc:
+        raise ValueError("CRC mismatch")
+    magic, value = struct.unpack(_FMT, body)
+    return magic, value
+'''
+    path = tmp_path / "roundtrip.py"
+    path.write_text(src)
+    result = lint_paths([path], rules=select_rules(["F"]))
+    assert result.violations == []
+
+
+def test_transitive_crc_verification_passes(tmp_path):
+    # a reader that delegates CRC checking to a helper is still checked
+    src = '''
+import struct
+import zlib
+
+_FMT = "<QQ"
+
+
+def _check_crc(data: bytes) -> bytes:
+    body, crc = data[:-4], data[-4:]
+    if (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(4, "little") != crc:
+        raise ValueError("bad")
+    return body
+
+
+def encode_pair(a: int, b: int) -> bytes:
+    body = struct.pack(_FMT, a, b)
+    return body + (zlib.crc32(body) & 0xFFFFFFFF).to_bytes(4, "little")
+
+
+def decode_pair(data: bytes) -> tuple:
+    a, b = struct.unpack(_FMT, _check_crc(data))
+    return a, b
+'''
+    path = tmp_path / "delegated.py"
+    path.write_text(src)
+    result = lint_paths([path], rules=select_rules(["F204"]))
+    assert result.violations == []
+
+
+def test_repo_storage_layer_is_format_clean(repo_src):
+    result = lint_paths([repo_src / "storage"], rules=select_rules(["F"]))
+    assert result.violations == [], [str(v.format()) for v in result.violations]

@@ -1,0 +1,94 @@
+"""H- and T-family rules on their fixtures, plus suppression semantics."""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths, select_rules
+from repro.analysis.core import FileContext, parse_suppressions
+
+
+def test_fixture_triggers_every_h_rule(fixtures_dir):
+    result = lint_paths(
+        [fixtures_dir / "bad_hygiene.py"], rules=select_rules(["H"])
+    )
+    by_rule = result.by_rule()
+    for rule_id in ("H001", "H002", "H003", "H004", "H005", "H006"):
+        assert len(by_rule.get(rule_id, [])) == 1, rule_id
+    # the used import (os) is not flagged
+    assert all("'os'" not in v.message for v in by_rule["H006"])
+
+
+def test_fixture_triggers_t_rules(fixtures_dir):
+    result = lint_paths(
+        [fixtures_dir / "bad_typing.py"], rules=select_rules(["T"])
+    )
+    by_rule = result.by_rule()
+    assert len(by_rule.get("T401", [])) == 2  # unannotated_return, method
+    assert len(by_rule.get("T402", [])) == 2  # unannotated_param, method
+    assert not any(
+        "_private_ok" in v.message for v in result.violations
+    )
+
+
+def test_suppression_comment_parsing():
+    assert parse_suppressions("# carp-lint: disable=D101\n") == {"D101"}
+    assert parse_suppressions("# carp-lint: disable=D101, F202\n") == {
+        "D101", "F202",
+    }
+    assert parse_suppressions("x = 1  # carp-lint: disable=all\n") == {"all"}
+    assert parse_suppressions("# unrelated comment\n") == set()
+
+
+def test_suppressed_fixture_is_clean_for_suppressed_rules(fixtures_dir):
+    result = lint_paths(
+        [fixtures_dir / "suppressed_ok.py"], rules=select_rules(["D"])
+    )
+    assert result.violations == []
+
+
+def test_suppression_does_not_leak_to_other_rules(tmp_path):
+    src = (
+        "# carp-lint: disable=D101\n"
+        "import time\n"
+        "import random\n"
+        "t = time.time()\n"
+        "r = random.random()\n"
+    )
+    path = tmp_path / "partial.py"
+    path.write_text(src)
+    result = lint_paths([path], rules=select_rules(["D"]))
+    rules = {v.rule for v in result.violations}
+    assert rules == {"D103"}  # D101 suppressed, D103 still fires
+
+
+def test_unused_import_skips_init_modules(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("from os import getcwd\n")
+    result = lint_paths([pkg], rules=select_rules(["H006"]))
+    assert result.violations == []
+
+
+def test_annotation_only_import_is_used(tmp_path):
+    src = (
+        "from __future__ import annotations\n"
+        "from pathlib import Path\n"
+        "def f(p: Path) -> Path:\n"
+        "    return p\n"
+    )
+    path = tmp_path / "ann.py"
+    path.write_text(src)
+    result = lint_paths([path], rules=select_rules(["H006"]))
+    assert result.violations == []
+
+
+def test_file_context_module_inference():
+    ctx = FileContext.from_source(
+        "x = 1\n", Path("src/repro/sim/engine.py")
+    )
+    assert ctx.module == "repro.sim.engine"
+    ctx2 = FileContext.from_source("x = 1\n", Path("tests/foo.py"))
+    assert ctx2.module is None
+    ctx3 = FileContext.from_source(
+        "x = 1\n", Path("src/repro/storage/__init__.py")
+    )
+    assert ctx3.module == "repro.storage"

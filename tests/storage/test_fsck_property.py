@@ -1,0 +1,59 @@
+"""Property test: fsck passes on any freshly written KoiDB directory.
+
+For every trace generator and a hypothesis-drawn combination of rank
+count, records per rank, and seed, a full ingest through ``CarpRun``
+must produce a directory that ``fsck`` certifies clean with exactly
+the records that went in.  This is the end-to-end counterpart of the
+per-format invariants enforced by carp-lint's F-rules (see
+docs/INVARIANTS.md).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.carp import CarpRun
+from repro.core.config import CarpOptions
+from repro.storage.fsck import fsck
+from repro.traces import amr, vpic
+
+GENERATORS = {
+    "vpic": (vpic.VpicTraceSpec, vpic.generate_timestep),
+    "amr": (amr.AmrTraceSpec, amr.generate_timestep),
+}
+
+OPTS = CarpOptions(
+    pivot_count=16, oob_capacity=64, renegotiations_per_epoch=2,
+    memtable_records=128, round_records=128, value_size=56,
+)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    trace=st.sampled_from(sorted(GENERATORS)),
+    nranks=st.integers(min_value=1, max_value=4),
+    per_rank=st.integers(min_value=32, max_value=256),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_fresh_koidb_dir_is_fsck_clean(tmp_path, trace, nranks, per_rank, seed):
+    spec_cls, generate = GENERATORS[trace]
+    kw = (
+        {"particles_per_rank": per_rank}
+        if trace == "vpic"
+        else {"cells_per_rank": per_rank}
+    )
+    spec = spec_cls(nranks=nranks, timesteps=(0,), seed=seed, **kw)
+    streams = generate(spec, 0)
+
+    out = tmp_path / f"{trace}-{nranks}-{per_rank}-{seed}"
+    with CarpRun(nranks, out, OPTS) as run:
+        run.ingest_epoch(0, streams)
+
+    report = fsck(out)
+    assert report.ok, report.errors
+    assert report.logs_checked == nranks
+    assert report.records_checked == nranks * per_rank
+    assert report.epochs == {0}

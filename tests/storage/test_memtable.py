@@ -94,3 +94,18 @@ class TestDoubleBuffer:
 
     def test_drain_all_empty(self):
         assert len(DoubleBuffer(4, 8).drain_all()) == 0
+
+    def test_drain_all_empty_preserves_value_size(self):
+        # regression: concat of zero parts used to fall back to the
+        # paper default (56B), breaking a later add() of the drained
+        # batch into a same-sized memtable
+        db = DoubleBuffer(4, 16)
+        out = db.drain_all()
+        assert out.value_size == 16
+        sink = Memtable(4, 16)
+        sink.add(out)  # must not raise
+
+    def test_drain_all_after_partial_fill_preserves_value_size(self):
+        db = DoubleBuffer(4, 16)
+        db.add(batch(2, value_size=16))
+        assert db.drain_all().value_size == 16

@@ -60,6 +60,7 @@ def ingest(tmp_path, separate_strays: bool):
 
 def measure(tmp_path):
     rows = []
+    json_rows = []
     numbers = {}
     for separate in (False, True):
         out, stats = ingest(tmp_path, separate)
@@ -72,17 +73,27 @@ def measure(tmp_path):
                 raf = read_amplification_profile(store, epoch, probes, NRANKS)
                 p50, p99 = raf_percentiles(raf)
                 numbers[(separate, epoch)] = (p50, p99)
+                drift = (f"T{RAF_SPEC.timesteps[pair[0]]}"
+                         f"+T{RAF_SPEC.timesteps[pair[1]]}")
                 rows.append([
-                    f"T{RAF_SPEC.timesteps[pair[0]]}+T{RAF_SPEC.timesteps[pair[1]]}",
+                    drift,
                     "on" if separate else "off",
                     f"{stats[epoch].stray_fraction:.1%}",
                     f"{p50:.1f}x", f"{p99:.1f}x",
                 ])
-    return rows, numbers
+                json_rows.append({
+                    "epoch": epoch,
+                    "drift": drift,
+                    "repartitioning": separate,
+                    "stray_fraction": stats[epoch].stray_fraction,
+                    "raf_p50": p50,
+                    "raf_p99": p99,
+                })
+    return rows, json_rows, numbers
 
 
 def test_fig10c_repartitioning_raf(benchmark, tmp_path):
-    rows, numbers = benchmark.pedantic(
+    rows, json_rows, numbers = benchmark.pedantic(
         lambda: measure(tmp_path), rounds=1, iterations=1
     )
     headers = ["epoch (drift)", "repartitioning", "stray frac", "RAF p50",
@@ -91,7 +102,8 @@ def test_fig10c_repartitioning_raf(benchmark, tmp_path):
         "Fig 10c", f"read amplification with/without KoiDB repartitioning "
         f"({NRANKS} partitions, memtables spanning renegotiations)"
     ) + "\n" + render_table(headers, rows)
-    emit("fig10c_koidb_raf", text)
+    emit("fig10c_koidb_raf", text, rows=json_rows,
+         units={"stray_fraction": "fraction", "raf_p50": "x", "raf_p99": "x"})
 
     for epoch in range(len(EPOCH_PAIRS)):
         off_p50, off_p99 = numbers[(False, epoch)]

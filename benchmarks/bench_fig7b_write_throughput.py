@@ -85,7 +85,9 @@ def test_fig7b_effective_throughput(benchmark, bench_carp):
         "Fig 7b", f"effective write throughput, 188 GB/timestep, "
         f"{reneg_count} renegotiations/epoch"
     ) + "\n" + render_table(headers, rows)
-    emit("fig7b_write_throughput", text)
+    json_rows = [{"ranks": n, **series[n]} for n in SCALES]
+    emit("fig7b_write_throughput", text, rows=json_rows,
+         units={k: "B/s" for k in json_rows[0] if k != "ranks"})
 
     s512 = series[512]
     # CARP saturates storage at large scale (no overhead vs raw I/O)

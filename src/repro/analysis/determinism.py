@@ -29,8 +29,16 @@ import ast
 
 from repro.analysis.core import FileContext, Rule, Violation, qualified_name
 
-#: Simulation-core packages that must stay deterministic.
-DETERMINISM_SCOPE = ("repro.sim", "repro.core", "repro.shuffle", "repro.storage")
+#: Simulation-core packages that must stay deterministic.  The
+#: observability stack records *inside* the core, so it is held to the
+#: same standard.
+DETERMINISM_SCOPE = (
+    "repro.sim",
+    "repro.core",
+    "repro.shuffle",
+    "repro.storage",
+    "repro.obs",
+)
 
 #: Fully qualified callables that read the wall clock.
 WALL_CLOCK_CALLS = frozenset(

@@ -1,0 +1,155 @@
+"""Observability rules (O-family).
+
+The observability stack (:mod:`repro.obs`) runs *inside* the
+deterministic simulation core, so it must obey the same clock
+discipline the core does: all instrumentation timestamps come from the
+injected :class:`~repro.obs.Clock`, never the host clock.  These rules
+keep the data plane honest about that.
+
+Rules
+-----
+O501
+    Wall-clock *module* use (``import time`` / ``import datetime`` or
+    any ``time.*`` / ``datetime.*`` call) inside the simulation core or
+    the observability stack itself.  D101 flags known wall-clock call
+    sites; O501 closes the gap by banning the modules outright in
+    instrumentation scope, so new ``time`` APIs cannot sneak in.  The
+    only sanctioned home for ``time.perf_counter`` is ``repro.tools``
+    (report CLIs), which is outside this scope.
+O502
+    Recording-instrumentation construction (``VirtualClock()``,
+    ``ChromeTracer()``, ``MetricsRegistry()``, ``Obs(...)`` /
+    ``Obs.recording()``) inside the data plane.  Instrumentation is
+    *injected* by the driver; data-plane modules accepting an
+    ``obs`` parameter must default to the shared ``NULL_OBS`` constant,
+    not build their own recording stack — otherwise a library import
+    silently starts accumulating events and runs stop being
+    zero-overhead when observability is off.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import FileContext, Rule, Violation, qualified_name
+
+#: Packages whose instrumentation must go through the Clock abstraction.
+OBS_CLOCK_SCOPE = (
+    "repro.core",
+    "repro.shuffle",
+    "repro.storage",
+    "repro.sim",
+    "repro.obs",
+)
+
+#: Data-plane packages that must receive instrumentation by injection.
+OBS_INJECTION_SCOPE = (
+    "repro.core",
+    "repro.shuffle",
+    "repro.storage",
+    "repro.sim",
+)
+
+#: Modules whose mere presence in instrumentation scope is a violation.
+WALL_CLOCK_MODULES = frozenset({"time", "datetime"})
+
+#: Qualified names that construct a *recording* observability stack.
+RECORDING_CONSTRUCTORS = frozenset(
+    {
+        "repro.obs.VirtualClock",
+        "repro.obs.clock.VirtualClock",
+        "repro.obs.ChromeTracer",
+        "repro.obs.tracer.ChromeTracer",
+        "repro.obs.MetricsRegistry",
+        "repro.obs.metrics.MetricsRegistry",
+        "repro.obs.Obs",
+        "repro.obs.Obs.recording",
+    }
+)
+
+
+class WallClockModuleRule(Rule):
+    id = "O501"
+    name = "wall-clock-module"
+    description = (
+        "time/datetime module use in instrumentation scope — timestamps "
+        "must come from the injected Clock"
+    )
+    scope = OBS_CLOCK_SCOPE
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in WALL_CLOCK_MODULES:
+                        out.append(
+                            self.violation(
+                                ctx, node,
+                                f"import of {alias.name!r} in instrumentation "
+                                "scope — take timestamps from the injected "
+                                "repro.obs.Clock instead",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    continue
+                root = (node.module or "").split(".")[0]
+                if root in WALL_CLOCK_MODULES:
+                    out.append(
+                        self.violation(
+                            ctx, node,
+                            f"import from {node.module!r} in instrumentation "
+                            "scope — take timestamps from the injected "
+                            "repro.obs.Clock instead",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                qual = qualified_name(node.func, ctx.aliases)
+                if qual is None:
+                    continue
+                root = qual.split(".")[0]
+                if root in WALL_CLOCK_MODULES and "." in qual:
+                    out.append(
+                        self.violation(
+                            ctx, node,
+                            f"{qual}() in instrumentation scope — use the "
+                            "injected repro.obs.Clock (virtual time) instead",
+                        )
+                    )
+        return out
+
+
+class InjectedInstrumentationRule(Rule):
+    id = "O502"
+    name = "injected-instrumentation"
+    description = (
+        "recording instrumentation constructed inside the data plane — "
+        "observability stacks must be injected by the driver"
+    )
+    scope = OBS_INJECTION_SCOPE
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = qualified_name(node.func, ctx.aliases)
+            if qual in RECORDING_CONSTRUCTORS:
+                short = qual.rsplit(".", 1)[-1]
+                out.append(
+                    self.violation(
+                        ctx, node,
+                        f"{short}() constructed in the data plane — accept "
+                        "an `obs: Obs | None = None` parameter and default "
+                        "to the shared NULL_OBS constant instead",
+                    )
+                )
+        return out
+
+
+OBS_RULES: tuple[Rule, ...] = (
+    WallClockModuleRule(),
+    InjectedInstrumentationRule(),
+)

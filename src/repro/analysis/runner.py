@@ -17,6 +17,7 @@ from repro.analysis.costmodel import COSTMODEL_RULES
 from repro.analysis.determinism import DETERMINISM_RULES
 from repro.analysis.formats import FORMAT_RULES
 from repro.analysis.hygiene import HYGIENE_RULES
+from repro.analysis.obs_rules import OBS_RULES
 from repro.analysis.typing_rules import TYPING_RULES
 
 #: Every registered rule, in family order.
@@ -26,6 +27,7 @@ ALL_RULES: tuple[Rule, ...] = (
     *COSTMODEL_RULES,
     *HYGIENE_RULES,
     *TYPING_RULES,
+    *OBS_RULES,
 )
 
 

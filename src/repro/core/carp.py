@@ -28,6 +28,7 @@ from repro.core.rank import CarpRankState
 from repro.core.records import RecordBatch
 from repro.core.renegotiation import RenegStats, negotiate
 from repro.core.triggers import PeriodicTrigger, TriggerLog, TriggerReason
+from repro.obs import MESSAGE_TICK, NULL_OBS, RECORD_TICK, ROUND_TICK, Obs
 from repro.shuffle.flow import DelayQueue, ShuffleMessage
 from repro.shuffle.router import range_route, split_by_destination
 from repro.storage.koidb import KoiDB
@@ -104,6 +105,7 @@ class CarpRun:
         out_dir: Path | str,
         options: CarpOptions | None = None,
         nreceivers: int | None = None,
+        obs: Obs | None = None,
     ) -> None:
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
@@ -115,9 +117,31 @@ class CarpRun:
             )
         self.options = options or CarpOptions()
         self.out_dir = Path(out_dir)
+        self.obs = obs if obs is not None else NULL_OBS
+        self._obs_on = self.obs.enabled
+        # track handles and instruments are resolved once; with the
+        # null stack these are shared no-op objects
+        self._tr_route = [
+            self.obs.track("route", f"rank {r}") for r in range(nranks)
+        ]
+        self._tr_shuffle = self.obs.track("shuffle", "fabric")
+        self._tr_reneg = self.obs.track("renegotiate", "driver")
+        self._tr_epoch = self.obs.track("epoch", "driver")
+        metrics = self.obs.metrics
+        self._m_records = metrics.counter("carp.records_ingested")
+        self._m_shuffled = metrics.counter("carp.records_shuffled")
+        self._m_oob = metrics.counter("carp.records_oob_buffered")
+        self._m_reneg_rounds = metrics.counter("reneg.rounds")
+        self._m_reneg_msgs = metrics.counter("reneg.messages")
+        self._m_reneg_bytes = metrics.counter("net.bytes_charged")
+        self._m_route_hist = metrics.histogram(
+            "carp.route_batch_records", (64, 256, 1024, 4096, 16384)
+        )
+        self._g_in_flight = metrics.gauge("shuffle.in_flight_records")
         self.ranks = [CarpRankState(r, self.options) for r in range(nranks)]
         self.koidbs = [
-            KoiDB(r, self.out_dir, self.options) for r in range(self.nreceivers)
+            KoiDB(r, self.out_dir, self.options, obs=self.obs)
+            for r in range(self.nreceivers)
         ]
         self.table: PartitionTable | None = None
         self._version = 0
@@ -260,11 +284,19 @@ class CarpRun:
         stats = EpochStats(epoch=epoch)
         self._epoch_stats = stats
         self._round_idx = 0
+        obs = self.obs
+        # a crashed epoch leaves this span open, marking the crash point
+        obs.tracer.begin(
+            self._tr_epoch, f"epoch {epoch}", obs.clock.now(),
+            {"epoch": epoch, "records": total_records},
+        )
 
         chunk = self.options.round_records
         n_rounds = max(-(-len(s) // chunk) for s in streams)
         for round_idx in range(n_rounds):
             self._round_idx = round_idx
+            if self._obs_on:
+                obs.clock.advance(ROUND_TICK)
             pending: dict[int, RecordBatch] = {}
             round_records = 0
             for r, stream in enumerate(streams):
@@ -290,6 +322,8 @@ class CarpRun:
             else:
                 raise RuntimeError("bootstrap routing did not converge")
             stats.records += round_records
+            if self._obs_on:
+                self._m_records.add(round_records)
             self._deliver(self._flow.tick())
             if self.table is not None and self._external_reneg_requested:
                 self._renegotiate(TriggerReason.EXTERNAL)
@@ -328,6 +362,11 @@ class CarpRun:
         self.epoch_history.append(stats)
         self._epoch_stats = None
         self._flow = None
+        obs.tracer.end(
+            self._tr_epoch, obs.clock.now(),
+            {"strays": stats.stray_records,
+             "renegotiations": stats.renegotiations},
+        )
         return stats
 
     # ------------------------------------------------------------ routing
@@ -342,6 +381,16 @@ class CarpRun:
         the leftover batch is returned so the run driver can wait for
         all ranks to contribute their buffered keys first.
         """
+        if not self._obs_on:
+            return self._route_impl(r, batch)
+        self._m_route_hist.observe(len(batch))
+        with self.obs.span(
+            self._tr_route[r], "route", dur=len(batch) * RECORD_TICK,
+            args={"rank": r, "records": len(batch)},
+        ):
+            return self._route_impl(r, batch)
+
+    def _route_impl(self, r: int, batch: RecordBatch) -> RecordBatch:
         assert self._flow is not None
         rank = self.ranks[r]
         pending = batch
@@ -349,7 +398,10 @@ class CarpRun:
             if len(pending) == 0:
                 return pending
             if self.table is None:
-                return rank.oob.add(pending)
+                left = rank.oob.add(pending)
+                if self._obs_on:
+                    self._m_oob.add(len(pending) - len(left))
+                return left
             dests = range_route(pending, self.table)
             per_dest, oob_batch = split_by_destination(pending, dests)
             in_bounds = len(pending) - len(oob_batch)
@@ -361,6 +413,8 @@ class CarpRun:
             if len(oob_batch) == 0:
                 return oob_batch
             overflow = rank.oob.add(oob_batch)
+            if self._obs_on:
+                self._m_oob.add(len(oob_batch) - len(overflow))
             if rank.oob.is_full:
                 self._renegotiate(TriggerReason.OOB_FULL)
             pending = overflow
@@ -374,6 +428,8 @@ class CarpRun:
         so no stray keys can form.
         """
         assert self._flow is not None and self.table is not None
+        if self._obs_on:
+            self._m_shuffled.add(len(batch))
         if self.options.shuffle_delay_rounds == 0:
             self.koidbs[dest].ingest(batch)
         else:
@@ -387,13 +443,24 @@ class CarpRun:
         pivot_sets = [rank.compute_pivots() for rank in self.ranks]
         if all(p is None for p in pivot_sets):
             return  # nothing observed anywhere; keep waiting
+        obs = self.obs
+        obs.tracer.begin(
+            self._tr_reneg, reason.value, obs.clock.now(),
+            {"round": self._round_idx, "reason": reason.value},
+        )
         bounds, reneg = negotiate(
             pivot_sets,
             self.nreceivers,
             self.options.pivot_count,
             protocol=self.options.reneg_protocol,
             fanout=self.options.trp_fanout,
+            obs=self.obs,
         )
+        if self._obs_on:
+            obs.clock.advance(MESSAGE_TICK)  # table broadcast
+            self._m_reneg_rounds.add(1)
+            self._m_reneg_msgs.add(reneg.total_messages)
+            self._m_reneg_bytes.add(reneg.total_bytes)
         self._version += 1
         self.table = PartitionTable.from_quantile_points(bounds, version=self._version)
         for rank in self.ranks:
@@ -424,9 +491,25 @@ class CarpRun:
         self._epoch_stats.triggers.record(self._round_idx, reason)
         self._epoch_stats.reneg_stats.append(reneg)
         self._epoch_stats.table_history.append(self.table)
+        obs.tracer.end(
+            self._tr_reneg, obs.clock.now(),
+            {"version": self.table.version,
+             "messages": reneg.total_messages, "bytes": reneg.total_bytes},
+        )
 
     # ----------------------------------------------------------- delivery
 
     def _deliver(self, messages: list[ShuffleMessage]) -> None:
-        for msg in messages:
-            self.koidbs[msg.dest].ingest(msg.batch)
+        if not self._obs_on or not messages:
+            for msg in messages:
+                self.koidbs[msg.dest].ingest(msg.batch)
+            return
+        delivered = sum(len(m.batch) for m in messages)
+        with self.obs.span(
+            self._tr_shuffle, "deliver", dur=delivered * RECORD_TICK,
+            args={"messages": len(messages), "records": delivered},
+        ):
+            for msg in messages:
+                self.koidbs[msg.dest].ingest(msg.batch)
+        assert self._flow is not None
+        self._g_in_flight.set(self._flow.in_flight)

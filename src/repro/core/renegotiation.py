@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.pivots import Pivots, partition_bounds_from_pivots, pivot_union
+from repro.obs import MESSAGE_TICK, NULL_OBS, Obs
 
 #: On-wire size of one pivot point (a float64 key value).
 PIVOT_POINT_BYTES = 8
@@ -113,19 +114,25 @@ def negotiate_trp(
     nparts: int,
     pivot_width: int,
     fanout: int = 64,
+    obs: Obs | None = None,
 ) -> tuple[np.ndarray, RenegStats]:
     """Tree-based renegotiation (TRP).
 
     Merges pivots level by level: each group of up to ``fanout``
     contributions is unioned and resampled to ``pivot_width`` points
     before being forwarded, so message sizes stay constant while the
-    number of participants shrinks geometrically.
+    number of participants shrinks geometrically.  With a recording
+    ``obs``, each reduction level is traced as one span on the
+    ``renegotiate``/``trp`` track.
     """
     nranks = len(rank_pivots)
     msg = _message_bytes(pivot_width)
     stats = RenegStats(nranks=nranks, pivot_width=pivot_width)
+    obs = obs if obs is not None else NULL_OBS
+    tr_trp = obs.track("renegotiate", "trp")
 
     current: list[Pivots | None] = list(rank_pivots)
+    level = 0
     while len(current) > 1:
         groups = [current[i : i + fanout] for i in range(0, len(current), fanout)]
         merged: list[Pivots | None] = []
@@ -143,7 +150,17 @@ def negotiate_trp(
             else:
                 merged.append(pivot_union(live, pivot_width))
         stats.levels.append((senders, max(max_fanin, 1), msg))
+        if obs.enabled:
+            dur = max(max_fanin, 1) * MESSAGE_TICK
+            t0 = obs.clock.now()
+            obs.clock.advance(dur)
+            obs.tracer.complete(
+                tr_trp, f"level {level}", t0, dur,
+                {"level": level, "groups": len(groups), "senders": senders,
+                 "max_fanin": max(max_fanin, 1), "message_bytes": msg},
+            )
         current = merged
+        level += 1
 
     root = current[0]
     if root is None:
@@ -183,10 +200,11 @@ def negotiate(
     pivot_width: int,
     protocol: str = "trp",
     fanout: int = 64,
+    obs: Obs | None = None,
 ) -> tuple[np.ndarray, RenegStats]:
     """Dispatch to the configured renegotiation protocol."""
     if protocol == "naive":
         return negotiate_naive(rank_pivots, nparts, pivot_width)
     if protocol == "trp":
-        return negotiate_trp(rank_pivots, nparts, pivot_width, fanout)
+        return negotiate_trp(rank_pivots, nparts, pivot_width, fanout, obs=obs)
     raise ValueError(f"unknown renegotiation protocol {protocol!r}")

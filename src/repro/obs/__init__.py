@@ -1,0 +1,167 @@
+"""``repro.obs`` — virtual-time tracing and metrics for the data plane.
+
+The paper's time-series claims (renegotiation latency masked by
+buffered writes, RAF recovering via repartitioning, WAF staying 1x)
+are about *when* things happen inside the pipeline, not just epoch
+totals.  This package is the measurement substrate: a
+:class:`MetricsRegistry` of counters/gauges/bounded histograms, a
+:class:`ChromeTracer` emitting Perfetto-loadable span timelines, and a
+:class:`~repro.obs.clock.Clock` protocol that keeps every timestamp in
+*virtual* time so the deterministic core never reads the host clock
+(enforced statically by carp-lint's D1xx and O5xx families).
+
+Instrumented subsystems receive one :class:`Obs` object; they never
+construct clocks, tracers, or registries themselves (rule O502) — the
+caller (``carp-trace``, a benchmark, a test) decides whether to record:
+
+    obs = Obs.recording()
+    with CarpRun(16, out, opts, obs=obs) as run:
+        run.ingest_epoch(0, streams)
+    obs.tracer.write(out / "trace.json")
+    obs.metrics.write_json(out / "metrics.json")
+
+``Obs.null()`` (the default everywhere) is a shared do-nothing stack:
+its clock is frozen, its registry hands out no-op instruments, and hot
+paths additionally guard on ``obs.enabled`` so a disabled run pays a
+single attribute check.
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+
+from repro.obs.clock import Clock, NullClock, VirtualClock
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.tracer import (
+    ChromeTracer,
+    NullTracer,
+    Tracer,
+    Track,
+    validate_trace_events,
+)
+
+__all__ = [
+    "Clock",
+    "NullClock",
+    "VirtualClock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "ChromeTracer",
+    "NullTracer",
+    "Tracer",
+    "Track",
+    "validate_trace_events",
+    "Obs",
+    "Span",
+    "NULL_OBS",
+    "RECORD_TICK",
+    "MESSAGE_TICK",
+    "ROUND_TICK",
+]
+
+#: Virtual ticks of pipeline work per record routed/flushed (1 tick
+#: ~ 1000 records), per control-plane message, and per ingestion round.
+RECORD_TICK = 1e-3
+MESSAGE_TICK = 1e-3
+ROUND_TICK = 1.0
+
+
+class Span:
+    """Context manager pairing a ``B``/``E`` event with a clock advance.
+
+    On exit the clock moves forward by ``dur`` ticks *plus* whatever
+    nested spans advanced it, so outer spans always contain inner ones
+    on the timeline.
+    """
+
+    __slots__ = ("_obs", "_track", "_name", "_dur", "_args")
+
+    def __init__(self, obs: "Obs", track: Track, name: str, dur: float,
+                 args: dict[str, object] | None) -> None:
+        self._obs = obs
+        self._track = track
+        self._name = name
+        self._dur = dur
+        self._args = args
+
+    def __enter__(self) -> "Span":
+        self._obs.tracer.begin(self._track, self._name,
+                               self._obs.clock.now(), self._args)
+        return self
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        if self._dur:
+            self._obs.clock.advance(self._dur)
+        self._obs.tracer.end(self._track, self._obs.clock.now())
+
+
+class _NullSpan:
+    """Shared no-op span for disabled observability."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Obs:
+    """One observability stack: clock + metrics + tracer.
+
+    The single object instrumented subsystems accept (``obs=`` keyword
+    of ``CarpRun``, ``KoiDB``, ``PartitionedStore``,
+    ``simulate_ingestion``).
+    """
+
+    __slots__ = ("clock", "metrics", "tracer", "enabled")
+
+    def __init__(self, clock: Clock, metrics: MetricsRegistry,
+                 tracer: Tracer, enabled: bool = True) -> None:
+        self.clock = clock
+        self.metrics = metrics
+        self.tracer = tracer
+        self.enabled = enabled
+
+    @classmethod
+    def recording(cls) -> "Obs":
+        """A fresh recording stack (virtual clock, live registry/tracer)."""
+        return cls(VirtualClock(), MetricsRegistry(), ChromeTracer())
+
+    @classmethod
+    def null(cls) -> "Obs":
+        """The shared zero-overhead stack (see :data:`NULL_OBS`)."""
+        return NULL_OBS
+
+    def track(self, process: str, thread: str = "main") -> Track:
+        """Shorthand for ``obs.tracer.track(...)``."""
+        return self.tracer.track(process, thread)
+
+    def span(self, track: Track, name: str, dur: float = 0.0,
+             args: dict[str, object] | None = None) -> Span | _NullSpan:
+        """Open a span that advances the clock by ``dur`` on exit."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, track, name, dur, args)
+
+
+#: The do-nothing stack every instrumented subsystem defaults to.
+NULL_OBS = Obs(NullClock(), NullMetricsRegistry(), NullTracer(),
+               enabled=False)

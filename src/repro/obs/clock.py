@@ -1,0 +1,64 @@
+"""Virtual-time clocks for the observability layer.
+
+Every timestamp the instrumentation records comes from a
+:class:`Clock`, never from the host's wall clock — the deterministic
+core (``repro.core``/``shuffle``/``storage``/``sim``) stays
+bit-reproducible and carp-lint's D1xx/O5xx rules keep it that way.
+The clock's unit is *logical ticks*: the run driver advances it by one
+tick per ingestion round and by small per-record/per-message increments
+inside instrumented operations, so span durations are proportional to
+the amount of pipeline work they cover and identical across runs with
+the same seed.
+
+:class:`NullClock` is the zero-overhead stand-in used when
+observability is disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """What instrumented code may ask about time: read it, advance it."""
+
+    def now(self) -> float:
+        """Current virtual time, in logical ticks."""
+        ...
+
+    def advance(self, dt: float) -> float:
+        """Move virtual time forward by ``dt`` ticks; returns the new time."""
+        ...
+
+
+class VirtualClock:
+    """A monotonic, manually advanced logical clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("start time must be non-negative")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError(f"clock cannot run backwards (dt={dt})")
+        self._now += dt
+        return self._now
+
+
+class NullClock:
+    """Frozen clock for disabled observability: time never moves."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return 0.0
+
+    def advance(self, dt: float) -> float:
+        return 0.0

@@ -1,0 +1,145 @@
+"""Human-readable reports over a recorded run.
+
+Turns the three artifacts ``carp-trace`` produces — the run manifest
+(``carp_run.json`` shape), the metrics snapshot, and the trace-event
+list — into a per-epoch timeline/summary a terminal can show.  The
+functions here take plain dicts/lists, not live run objects, so the
+module renders archived artifacts as readily as a just-finished run
+and introduces no import cycle with the instrumented packages.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import fmt_bytes, fmt_pct, render_table
+
+
+def track_summary(events: list[dict[str, object]]) -> dict[str, dict[str, float]]:
+    """Per track-type event counts and busy time.
+
+    Resolves pid -> track-type names from the metadata events, then
+    aggregates span activity: ``X`` events contribute their ``dur``;
+    ``B``/``E`` pairs contribute their enclosed interval (per-track
+    stack, tolerant of unbalanced input).
+    """
+    names: dict[object, str] = {}
+    out: dict[str, dict[str, float]] = {}
+    stacks: dict[tuple[object, object], list[float]] = {}
+    for event in events:
+        if event.get("ph") == "M":
+            if event.get("name") == "process_name":
+                args = event.get("args")
+                if isinstance(args, dict):
+                    names[event.get("pid")] = str(args.get("name"))
+            continue
+        track_type = names.get(event.get("pid"), f"pid {event.get('pid')}")
+        agg = out.setdefault(track_type, {"events": 0, "spans": 0,
+                                          "busy_ticks": 0.0})
+        agg["events"] += 1
+        ph = event.get("ph")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            continue
+        key = (event.get("pid"), event.get("tid"))
+        if ph == "X":
+            dur = event.get("dur")
+            agg["spans"] += 1
+            if isinstance(dur, (int, float)):
+                agg["busy_ticks"] += float(dur)
+        elif ph == "B":
+            stacks.setdefault(key, []).append(float(ts))
+        elif ph == "E":
+            stack = stacks.get(key)
+            if stack:
+                agg["spans"] += 1
+                agg["busy_ticks"] += float(ts) - stack.pop()
+    return out
+
+
+def _trigger_timeline(epoch: dict[str, object]) -> str:
+    triggers = epoch.get("triggers")
+    if not isinstance(triggers, list) or not triggers:
+        return "-"
+    parts = []
+    for t in triggers:
+        if isinstance(t, dict):
+            parts.append(f"r{t.get('round')}:{t.get('reason')}")
+    return " ".join(parts) if parts else "-"
+
+
+def epoch_table(epochs: list[dict[str, object]]) -> str:
+    """Per-epoch summary table with the renegotiation timeline."""
+    headers = ["epoch", "records", "rounds", "renegs", "stray frac",
+               "load stddev", "trigger timeline (round:reason)"]
+    rows = []
+    for e in epochs:
+        stray = e.get("stray_fraction")
+        stddev = e.get("load_stddev")
+        rows.append([
+            e.get("epoch"),
+            e.get("records"),
+            e.get("rounds"),
+            e.get("renegotiations"),
+            fmt_pct(float(stray)) if isinstance(stray, (int, float)) else "-",
+            f"{float(stddev):.3f}" if isinstance(stddev, (int, float)) else "-",
+            _trigger_timeline(e),
+        ])
+    return render_table(headers, rows)
+
+
+def track_table(events: list[dict[str, object]]) -> str:
+    """Per track-type activity table."""
+    summary = track_summary(events)
+    headers = ["track type", "events", "spans", "busy (ticks)"]
+    rows = [
+        [name, int(agg["events"]), int(agg["spans"]), f"{agg['busy_ticks']:.2f}"]
+        for name, agg in sorted(summary.items())
+    ]
+    return render_table(headers, rows)
+
+
+def metrics_table(snapshot: dict[str, object]) -> str:
+    """Counter/gauge totals from a metrics snapshot."""
+    rows: list[list[object]] = []
+    counters = snapshot.get("counters")
+    if isinstance(counters, dict):
+        for name, value in sorted(counters.items()):
+            shown = (fmt_bytes(float(value)) if "bytes" in name
+                     else f"{value:g}")
+            rows.append(["counter", name, shown])
+    gauges = snapshot.get("gauges")
+    if isinstance(gauges, dict):
+        for name, value in sorted(gauges.items()):
+            rows.append(["gauge", name, f"{float(value):.3f}"])
+    histograms = snapshot.get("histograms")
+    if isinstance(histograms, dict):
+        for name, h in sorted(histograms.items()):
+            if isinstance(h, dict):
+                rows.append([
+                    "histogram", name,
+                    f"n={h.get('count')} mean={float(h.get('mean', 0.0)):.2f}",
+                ])
+    return render_table(["kind", "metric", "value"], rows)
+
+
+def render_report(run_doc: dict[str, object], snapshot: dict[str, object],
+                  events: list[dict[str, object]]) -> str:
+    """The full ``carp-trace`` terminal report."""
+    epochs = run_doc.get("epochs")
+    waf = run_doc.get("write_amplification")
+    waf_s = f"{float(waf):.3f}x" if isinstance(waf, (int, float)) else "-"
+    sections = [
+        f"CARP run: {run_doc.get('nranks')} ranks, "
+        f"{run_doc.get('nreceivers')} receivers, "
+        f"{len(epochs) if isinstance(epochs, list) else 0} epochs, "
+        f"write amplification {waf_s}",
+        "",
+        "Per-epoch timeline",
+        epoch_table(epochs if isinstance(epochs, list) else []),
+        "",
+        "Trace activity by track type",
+        track_table(events),
+        "",
+        "Metrics snapshot",
+        metrics_table(snapshot),
+    ]
+    return "\n".join(sections)

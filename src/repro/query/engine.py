@@ -20,6 +20,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.records import RecordBatch, range_mask
+from repro.obs import NULL_OBS, Obs
 from repro.sim.iomodel import IOModel
 from repro.storage.log import LogReader, list_logs
 from repro.storage.manifest import ManifestEntry
@@ -76,9 +77,18 @@ class PartitionedStore:
         directory: Path | str,
         io: IOModel | None = None,
         recover: bool = False,
+        obs: Obs | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.io = io or IOModel()
+        self.obs = obs if obs is not None else NULL_OBS
+        self._tr_query = self.obs.track("query", "client")
+        metrics = self.obs.metrics
+        self._m_probe_bytes = metrics.counter("query.probe_bytes")
+        self._m_requests = metrics.counter("query.read_requests")
+        self._m_ssts_read = metrics.counter("query.ssts_read")
+        self._m_matched = metrics.counter("query.records_matched")
+        self._m_io_bytes = metrics.counter("io.bytes_charged")
         paths = list_logs(self.directory)
         if not paths:
             raise FileNotFoundError(f"no KoiDB logs under {self.directory}")
@@ -200,6 +210,21 @@ class PartitionedStore:
             merge_time=self.io.merge_time(merge_bytes)
             + self.io.scan_time(bytes_read),
         )
+        if self.obs.enabled:
+            # one span per query; the modeled latency is the virtual duration
+            t0 = self.obs.clock.now()
+            self.obs.clock.advance(cost.latency)
+            self.obs.tracer.complete(
+                self._tr_query, "query", t0, cost.latency,
+                {"epoch": epoch, "lo": lo, "hi": hi,
+                 "ssts_read": cost.ssts_read, "bytes_read": bytes_read,
+                 "matched": len(keys), "keys_only": keys_only},
+            )
+            self._m_probe_bytes.add(bytes_read)
+            self._m_requests.add(requests)
+            self._m_ssts_read.add(len(candidates))
+            self._m_matched.add(len(keys))
+            self._m_io_bytes.add(bytes_read)
         return QueryResult(lo, hi, epoch, keys, rids, cost)
 
     def scan(self, epoch: int) -> QueryResult:

@@ -55,6 +55,11 @@ def read_amplification_profile(
     ideal = total_bytes / nparts
     if not include_strays:
         entries = [(i, e) for i, e in entries if not (e.flags & FLAG_STRAY)]
+        if not entries:
+            raise ValueError(
+                f"epoch {epoch} holds only stray SSTs; "
+                "include_strays=False leaves nothing to profile"
+            )
     kmin = np.array([e.kmin for _, e in entries])
     kmax = np.array([e.kmax for _, e in entries])
     length = np.array([e.length for _, e in entries], dtype=np.float64)

@@ -21,7 +21,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import Obs
+
 _STEPS = 20_000
+
+#: Simulated-seconds -> trace-timestamp scale (Chrome ts is in µs).
+_US = 1e6
 
 
 @dataclass(frozen=True)
@@ -46,6 +51,7 @@ def simulate_ingestion(
     storage_bandwidth: float | None,
     reneg_pauses: list[float] | None = None,
     receiver_buffer_bytes: float = float("inf"),
+    obs: Obs | None = None,
 ) -> PipelineResult:
     """Simulate one epoch's ingestion through the CARP pipeline.
 
@@ -67,10 +73,18 @@ def simulate_ingestion(
         Total buffering at shuffle receivers; bounds how much storage
         can keep draining while the shuffle is paused, and how far the
         shuffle can run ahead of a slow storage stage.
+    obs:
+        Optional observability stack.  With a recording stack, shuffle
+        *stall* and storage *idle* intervals are traced as spans on the
+        ``sim`` track (timestamps are simulated seconds, rendered in
+        µs), renegotiation firings as instant markers, and moved bytes
+        as counters.  ``None`` (the default) records nothing and adds
+        no per-step work.
     """
     if data_bytes <= 0:
         raise ValueError("data_bytes must be positive")
     pauses = list(reneg_pauses or [])
+    tracer = obs.tracer if obs is not None and obs.enabled else None
 
     if shuffle_bandwidth is None:
         if storage_bandwidth is None:
@@ -97,6 +111,10 @@ def simulate_ingestion(
     next_reneg = 0
     stall = 0.0
     idle = 0.0
+    stall_start: float | None = None
+    idle_start: float | None = None
+    tr_shuffle = tracer.track("sim", "shuffle") if tracer is not None else (0, 0)
+    tr_storage = tracer.track("sim", "storage") if tracer is not None else (0, 0)
 
     # cap iterations defensively; the estimate can be low when buffers
     # are tiny and pauses serialize
@@ -119,16 +137,49 @@ def simulate_ingestion(
         outflow = min(t_bw * dt, queue + inflow) if t_bw != float("inf") else queue + inflow
         if outflow <= 0 and stored < data_bytes:
             idle += dt
+        if tracer is not None:
+            # coalesce contiguous stalled/idle steps into one span each
+            stalled_now = not shuffle_active and shuffled < data_bytes
+            if stalled_now and stall_start is None:
+                stall_start = t
+            elif not stalled_now and stall_start is not None:
+                tracer.complete(tr_shuffle, "stall", stall_start * _US,
+                                (t - stall_start) * _US)
+                stall_start = None
+            idle_now = outflow <= 0 and stored < data_bytes
+            if idle_now and idle_start is None:
+                idle_start = t
+            elif not idle_now and idle_start is not None:
+                tracer.complete(tr_storage, "idle", idle_start * _US,
+                                (t - idle_start) * _US)
+                idle_start = None
         shuffled += inflow
         stored += outflow
         if pause_left > 0:
             pause_left = max(0.0, pause_left - dt)
         if next_reneg < len(thresholds) and shuffled >= thresholds[next_reneg]:
             pause_left += pauses[next_reneg]
+            if tracer is not None:
+                tracer.instant(tr_shuffle, "renegotiation", t * _US,
+                               {"index": next_reneg,
+                                "pause_s": pauses[next_reneg]})
             next_reneg += 1
         t += dt
     else:
         raise RuntimeError("pipeline simulation did not converge")
+
+    if tracer is not None:
+        if stall_start is not None:
+            tracer.complete(tr_shuffle, "stall", stall_start * _US,
+                            (t - stall_start) * _US)
+        if idle_start is not None:
+            tracer.complete(tr_storage, "idle", idle_start * _US,
+                            (t - idle_start) * _US)
+    if obs is not None and obs.enabled:
+        obs.metrics.counter("sim.bytes_shuffled").add(shuffled)
+        obs.metrics.counter("sim.bytes_stored").add(stored)
+        obs.metrics.counter("sim.stall_seconds").add(stall)
+        obs.metrics.counter("sim.idle_seconds").add(idle)
 
     return PipelineResult(t, data_bytes, stall, idle, len(pauses))
 

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.config import CarpOptions
 from repro.core.records import RecordBatch
+from repro.obs import NULL_OBS, RECORD_TICK, Obs
 from repro.storage.log import LogWriter, log_name
 from repro.storage.memtable import DoubleBuffer
 
@@ -53,7 +54,13 @@ class KoiDBStats:
 class KoiDB:
     """Per-rank storage backend instance."""
 
-    def __init__(self, rank: int, directory: Path | str, options: CarpOptions) -> None:
+    def __init__(
+        self,
+        rank: int,
+        directory: Path | str,
+        options: CarpOptions,
+        obs: Obs | None = None,
+    ) -> None:
         self.rank = rank
         self.options = options
         self.directory = Path(directory)
@@ -64,6 +71,22 @@ class KoiDB:
         self._owned_inclusive_hi = False
         self._epoch: int | None = None
         self.stats = KoiDBStats()
+        self.obs = obs if obs is not None else NULL_OBS
+        self._obs_on = self.obs.enabled
+        self._tr_flush = self.obs.track("flush", f"rank {rank}")
+        metrics = self.obs.metrics
+        self._m_records_in = metrics.counter("koidb.records_in")
+        self._m_strays = metrics.counter("koidb.stray_records")
+        self._m_ssts = metrics.counter("koidb.ssts_written")
+        self._m_stray_ssts = metrics.counter("koidb.stray_ssts_written")
+        self._m_bytes = metrics.counter("koidb.bytes_written")
+        self._m_flushes = metrics.counter("koidb.memtable_flushes")
+        self._m_fill = metrics.histogram(
+            "koidb.memtable_fill_at_flush", (0.25, 0.5, 0.75, 0.9, 1.0)
+        )
+        self._g_occupancy = metrics.gauge(
+            f"koidb.memtable_occupancy.r{rank}"
+        )
 
     # ------------------------------------------------------------- epochs
 
@@ -115,6 +138,7 @@ class KoiDB:
         stray = self._stray.drain_all()
         if len(stray):
             self.stats.memtable_flushes += 1
+            self._m_flushes.add(1)
             self._flush(stray, stray=True)
 
     def _stray_mask(self, keys: np.ndarray) -> np.ndarray:
@@ -141,11 +165,18 @@ class KoiDB:
         stray_mask = self._stray_mask(batch.keys)
         n_stray = int(stray_mask.sum())
         self.stats.stray_records += n_stray
+        if self._obs_on:
+            self._m_records_in.add(len(batch))
+            self._m_strays.add(n_stray)
         if n_stray and self.options.separate_strays:
             self._add_bounded(self._stray, batch.select(stray_mask), stray=True)
             self._add_bounded(self._main, batch.select(~stray_mask), stray=False)
         else:
             self._add_bounded(self._main, batch, stray=False)
+        if self._obs_on:
+            self._g_occupancy.set(
+                len(self._main.active) / max(self._main.active.capacity, 1)
+            )
         return n_stray
 
     def _add_bounded(self, buf: DoubleBuffer, batch: RecordBatch, stray: bool) -> None:
@@ -161,6 +192,7 @@ class KoiDB:
             room = max(capacity - len(buf.active), 0)
             if room == 0:
                 self.stats.memtable_flushes += 1
+                self._m_flushes.add(1)
                 self._flush(buf.swap(), stray=stray)
                 continue
             take = min(room, len(batch) - start)
@@ -168,6 +200,7 @@ class KoiDB:
             start += take
         if buf.should_flush:
             self.stats.memtable_flushes += 1
+            self._m_flushes.add(1)
             self._flush(buf.swap(), stray=stray)
 
     # -------------------------------------------------------------- flush
@@ -175,6 +208,18 @@ class KoiDB:
     def _flush(self, batch: RecordBatch, stray: bool) -> None:
         if len(batch) == 0:
             return
+        if not self._obs_on:
+            self._flush_impl(batch, stray)
+            return
+        self._m_fill.observe(len(batch) / max(self.options.memtable_records, 1))
+        with self.obs.span(
+            self._tr_flush, "flush-stray" if stray else "flush",
+            dur=len(batch) * RECORD_TICK,
+            args={"records": len(batch), "stray": stray},
+        ):
+            self._flush_impl(batch, stray)
+
+    def _flush_impl(self, batch: RecordBatch, stray: bool) -> None:
         assert self._epoch is not None
         sort = self.options.sort_ssts
         subparts = 1 if stray else self.options.subpartitions
@@ -214,3 +259,8 @@ class KoiDB:
         if stray:
             self.stats.stray_ssts_written += 1
         self.stats.bytes_written += entry.length
+        if self._obs_on:
+            self._m_ssts.add(1)
+            if stray:
+                self._m_stray_ssts.add(1)
+            self._m_bytes.add(entry.length)

@@ -1,0 +1,35 @@
+"""Fixture: every O-rule violation in one file.
+
+Outside any ``repro`` package the module path is unknown, which
+carp-lint treats as in-scope — exactly what lets this corpus exercise
+the scoped rules.
+"""
+# carp-lint: disable=T401,T402,D101
+
+import time
+from datetime import datetime
+
+from repro.obs import ChromeTracer, MetricsRegistry, Obs, VirtualClock
+
+
+def stamp_with_host_clock():
+    started = time.perf_counter()  # O501 (import already flagged too)
+    when = datetime.now()  # O501
+    return started, when
+
+
+def data_plane_builds_its_own_stack():
+    clock = VirtualClock()  # O502
+    tracer = ChromeTracer()  # O502
+    metrics = MetricsRegistry()  # O502
+    return Obs(clock, metrics, tracer)  # O502
+
+
+def recording_classmethod():
+    return Obs.recording()  # O502
+
+
+def injected_is_fine(obs):
+    # accepting an injected stack must NOT be flagged
+    obs.metrics.counter("ok").add(1)
+    return obs.clock.now()

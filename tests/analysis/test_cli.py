@@ -21,6 +21,7 @@ def test_clean_repo_exits_zero(repo_src, capsys):
         "bad_costmodel.py",
         "bad_hygiene.py",
         "bad_typing.py",
+        "bad_obs.py",
     ],
 )
 def test_each_bad_fixture_exits_nonzero(fixtures_dir, fixture, capsys):

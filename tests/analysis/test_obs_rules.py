@@ -1,0 +1,91 @@
+"""O-family rules: clock discipline and injected instrumentation."""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths, select_rules
+from repro.analysis.core import FileContext
+from repro.analysis.obs_rules import OBS_RULES
+
+
+def _rule(rule_id: str):
+    return next(r for r in OBS_RULES if r.id == rule_id)
+
+
+def _check(rule_id: str, source: str, path: str = "snippet.py"):
+    ctx = FileContext.from_source(source, Path(path))
+    rule = _rule(rule_id)
+    return rule.check(ctx) if rule.applies(ctx) else []
+
+
+def test_fixture_triggers_every_o_rule(fixtures_dir):
+    result = lint_paths(
+        [fixtures_dir / "bad_obs.py"], rules=select_rules(["O"])
+    )
+    by_rule = result.by_rule()
+    # import time, from datetime import, time.perf_counter(), datetime.now()
+    assert len(by_rule.get("O501", [])) == 4
+    # VirtualClock, ChromeTracer, MetricsRegistry, Obs(...), Obs.recording()
+    assert len(by_rule.get("O502", [])) == 5
+
+
+def test_wall_clock_import_flagged_in_obs_package():
+    src = "import time\n"
+    ctx = FileContext.from_source(src, Path("src/repro/obs/clock.py"))
+    assert len(_rule("O501").check(ctx)) == 1
+
+
+def test_wall_clock_call_flagged_through_alias():
+    src = "import time as t\nnow = t.monotonic()\n"
+    violations = _check("O501", src)
+    # the import and the call are each one finding
+    assert len(violations) == 2
+
+
+def test_tools_package_is_exempt_from_o501():
+    src = "import time\nt0 = time.perf_counter()\n"
+    ctx = FileContext.from_source(src, Path("src/repro/tools/trace_cli.py"))
+    rule = _rule("O501")
+    assert not rule.applies(ctx)
+
+
+def test_recording_constructor_flagged_in_data_plane():
+    src = (
+        "from repro.obs import MetricsRegistry\n"
+        "reg = MetricsRegistry()\n"
+    )
+    ctx = FileContext.from_source(src, Path("src/repro/core/carp_extra.py"))
+    assert len(_rule("O502").check(ctx)) == 1
+
+
+def test_recording_classmethod_flagged():
+    src = "from repro.obs import Obs\nobs = Obs.recording()\n"
+    violations = _check("O502", src)
+    assert len(violations) == 1
+
+
+def test_null_obs_constant_not_flagged():
+    # the sanctioned pattern: import the shared null stack, no construction
+    src = (
+        "from repro.obs import NULL_OBS, Obs\n"
+        "def f(obs=None):\n"
+        "    return obs if obs is not None else NULL_OBS\n"
+    )
+    assert _check("O502", src) == []
+
+
+def test_obs_package_may_construct_its_own_classes():
+    # repro.obs itself defines/wires the stack; O502 scope excludes it
+    src = "from repro.obs.clock import VirtualClock\nc = VirtualClock()\n"
+    ctx = FileContext.from_source(src, Path("src/repro/obs/__init__.py"))
+    assert not _rule("O502").applies(ctx)
+
+
+def test_drivers_outside_scope_may_record():
+    src = "from repro.obs import Obs\nobs = Obs.recording()\n"
+    ctx = FileContext.from_source(src, Path("src/repro/tools/trace_cli.py"))
+    assert not _rule("O502").applies(ctx)
+
+
+def test_repo_is_o_clean(repo_src):
+    result = lint_paths([repo_src], rules=select_rules(["O"]))
+    assert result.violations == []

@@ -1,0 +1,41 @@
+"""Clock protocol: virtual monotonic time and the null stand-in."""
+
+import pytest
+
+from repro.obs import Clock, NullClock, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_and_advances(self):
+        c = VirtualClock()
+        assert c.now() == 0.0
+        assert c.advance(1.5) == 1.5
+        assert c.advance(0.5) == 2.0
+        assert c.now() == 2.0
+
+    def test_custom_start(self):
+        assert VirtualClock(10.0).now() == 10.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_zero_advance_is_allowed(self):
+        c = VirtualClock()
+        assert c.advance(0.0) == 0.0
+
+    def test_satisfies_protocol(self):
+        assert isinstance(VirtualClock(), Clock)
+        assert isinstance(NullClock(), Clock)
+
+
+class TestNullClock:
+    def test_frozen_at_zero(self):
+        c = NullClock()
+        assert c.now() == 0.0
+        assert c.advance(100.0) == 0.0
+        assert c.now() == 0.0

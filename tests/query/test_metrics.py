@@ -72,6 +72,27 @@ class TestRAF:
         assert raf.shape == (1,)
         assert raf[0] > 0
 
+    def test_all_stray_epoch_without_strays_is_an_error(self, tmp_path):
+        """Filtering strays out of an all-stray epoch must raise, not
+        silently return an all-zero profile."""
+        from repro.core.records import RecordBatch
+        from repro.storage.log import LogWriter, log_name
+
+        keys = np.random.default_rng(1).random(256).astype(np.float32)
+        with LogWriter(tmp_path / log_name(0)) as w:
+            w.append_batch(RecordBatch.from_keys(keys, value_size=8), 0,
+                           stray=True)
+            w.flush_epoch(0)
+        with PartitionedStore(tmp_path) as store:
+            probes = np.quantile(keys.astype(np.float64), [0.25, 0.75])
+            # with strays included the profile works
+            raf = read_amplification_profile(store, 0, probes, 4)
+            assert np.all(raf > 0)
+            with pytest.raises(ValueError, match="only stray"):
+                read_amplification_profile(
+                    store, 0, probes, 4, include_strays=False
+                )
+
     def test_percentiles(self):
         raf = np.arange(1, 101, dtype=float)
         p50, p99 = raf_percentiles(raf)

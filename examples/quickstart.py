@@ -6,6 +6,11 @@ through CARP (adaptive range partitioning + KoiDB storage), and then
 answers range queries directly against the partitioned on-disk output —
 no post-processing pass in between.
 
+One ``Session`` owns the whole pipeline: the ingest run, the query
+views, and the (optional) observability stack and worker pool — set
+``CARP_EXECUTOR=process`` to run ingest and probing on a process pool
+with byte-identical output.
+
 Run:  python examples/quickstart.py
 """
 
@@ -14,7 +19,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import CarpOptions, CarpRun, PartitionedStore, RangeReader
+from repro import CarpOptions, Session
 from repro.traces.vpic import VpicTraceSpec, generate_timestep
 
 NRANKS = 16
@@ -33,29 +38,30 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         out = Path(tmp) / "carp_out"
 
-        # 2. stream the epoch through CARP — partitions are discovered
-        #    and adapted at runtime, no user-provided ranges needed
-        with CarpRun(NRANKS, out, CarpOptions(value_size=8)) as run:
-            stats = run.ingest_epoch(epoch=0, streams=streams)
-        print(f"ingested epoch 0: {stats.renegotiations} renegotiations, "
-              f"partition load std-dev {stats.load_stddev:.1%}, "
-              f"strays {stats.stray_fraction:.2%}")
+        with Session(NRANKS, out, CarpOptions(value_size=8)) as session:
+            # 2. stream the epoch through CARP — partitions are
+            #    discovered and adapted at runtime, no user-provided
+            #    ranges needed
+            stats = session.ingest_epoch(epoch=0, streams=streams)
+            print(f"ingested epoch 0: {stats.renegotiations} renegotiations, "
+                  f"partition load std-dev {stats.load_stddev:.1%}, "
+                  f"strays {stats.stray_fraction:.2%}")
 
-        # 3. query the partitioned output directly
-        with PartitionedStore(out) as store:
+            # 3. query the partitioned output directly
             lo, hi = 16.0, 64.0  # the paper's "energy band" use case
-            result = store.query(epoch=0, lo=lo, hi=hi)
+            result = session.query(epoch=0, lo=lo, hi=hi)
             expect = int(np.count_nonzero((all_keys >= lo) & (all_keys <= hi)))
             print(f"query energy in [{lo}, {hi}]: {len(result):,} particles "
                   f"(brute force agrees: {len(result) == expect})")
+            total = session.store().total_bytes(0)
             print(f"  read {result.cost.bytes_read:,} B in "
                   f"{result.cost.ssts_read} SSTs "
-                  f"({result.cost.bytes_read / store.total_bytes(0):.1%} of data), "
+                  f"({result.cost.bytes_read / total:.1%} of data), "
                   f"modeled latency {result.cost.latency * 1e3:.2f} ms")
 
-        # 4. the range-reader client adds analyze/batch modes
-        with RangeReader(out) as reader:
-            analysis = reader.analyze(epoch=0)
+            # 4. the range-reader client (wrapping the same open store)
+            #    adds analyze/batch modes
+            analysis = session.reader().analyze(epoch=0)
             print(f"analysis: {analysis.ssts} SSTs, median point-selectivity "
                   f"{analysis.median_selectivity:.1%} "
                   f"(floor for {NRANKS} partitions is {1 / NRANKS:.1%})")

@@ -4,7 +4,7 @@
 #   carp-lint  — always runs (no third-party deps; rules catalogued in
 #                docs/INVARIANTS.md)
 #   ruff       — runs when installed (pip install -e '.[lint]')
-#   mypy       — runs when installed; strict on repro.core/storage/sim/obs
+#   mypy       — runs when installed; strict on repro.core/storage/sim/obs/exec/api
 #
 # Exit non-zero if any available checker finds a problem.
 set -euo pipefail
@@ -24,7 +24,7 @@ fi
 
 if command -v mypy >/dev/null 2>&1; then
     echo "== mypy =="
-    mypy src/repro/core src/repro/storage src/repro/sim src/repro/obs || status=1
+    mypy src/repro/core src/repro/storage src/repro/sim src/repro/obs src/repro/exec src/repro/api.py || status=1
 else
     echo "== mypy == (not installed; skipping — pip install -e '.[lint]')"
 fi

@@ -22,10 +22,19 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured reproduction of every table and figure.
 """
 
+from repro.api import Session
 from repro.core.carp import CarpRun, EpochStats
 from repro.core.config import CarpOptions, PAPER_OPTIONS, TEST_OPTIONS
 from repro.core.partition import PartitionTable, load_stddev
 from repro.core.records import RecordBatch, make_rids
+from repro.exec import (
+    SERIAL_EXEC,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.query.engine import PartitionedStore, QueryResult
 from repro.query.reader import RangeReader
 from repro.sim.cluster import ClusterSpec, PAPER_CLUSTER
@@ -41,6 +50,7 @@ __all__ = [
     "CarpOptions",
     "ClusterSpec",
     "EpochStats",
+    "Executor",
     "IOModel",
     "KoiDB",
     "NetModel",
@@ -48,13 +58,19 @@ __all__ = [
     "PAPER_OPTIONS",
     "PartitionTable",
     "PartitionedStore",
+    "ProcessExecutor",
     "QueryResult",
     "RangeReader",
     "RecordBatch",
+    "SERIAL_EXEC",
+    "SerialExecutor",
+    "Session",
     "TEST_OPTIONS",
+    "ThreadExecutor",
     "compact_all_epochs",
     "compact_epoch",
     "load_stddev",
+    "make_executor",
     "make_rids",
     "__version__",
 ]

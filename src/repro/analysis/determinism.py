@@ -38,6 +38,7 @@ DETERMINISM_SCOPE = (
     "repro.shuffle",
     "repro.storage",
     "repro.obs",
+    "repro.exec",
 )
 
 #: Fully qualified callables that read the wall clock.

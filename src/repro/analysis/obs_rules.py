@@ -40,6 +40,7 @@ OBS_CLOCK_SCOPE = (
     "repro.storage",
     "repro.sim",
     "repro.obs",
+    "repro.exec",
 )
 
 #: Data-plane packages that must receive instrumentation by injection.

@@ -15,6 +15,7 @@ from pathlib import Path
 from repro.analysis.core import FileContext, Rule, Violation
 from repro.analysis.costmodel import COSTMODEL_RULES
 from repro.analysis.determinism import DETERMINISM_RULES
+from repro.analysis.exec_rules import EXEC_RULES
 from repro.analysis.formats import FORMAT_RULES
 from repro.analysis.hygiene import HYGIENE_RULES
 from repro.analysis.obs_rules import OBS_RULES
@@ -28,6 +29,7 @@ ALL_RULES: tuple[Rule, ...] = (
     *HYGIENE_RULES,
     *TYPING_RULES,
     *OBS_RULES,
+    *EXEC_RULES,
 )
 
 

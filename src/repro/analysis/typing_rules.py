@@ -14,7 +14,14 @@ from __future__ import annotations
 
 from repro.analysis.core import FileContext, Rule, Violation, iter_functions
 
-TYPING_SCOPE = ("repro.core", "repro.storage", "repro.sim", "repro.obs")
+TYPING_SCOPE = (
+    "repro.core",
+    "repro.storage",
+    "repro.sim",
+    "repro.obs",
+    "repro.exec",
+    "repro.api",
+)
 
 #: Dunders whose signatures are fixed by the data model anyway.
 _EXEMPT_NAMES = frozenset({"__init_subclass__", "__class_getitem__"})

@@ -1,0 +1,161 @@
+"""``repro.api`` — the :class:`Session` facade.
+
+The library's primitives compose by explicit injection: ``CarpRun``,
+``PartitionedStore``, ``RangeReader``, and the compactor each take
+``obs=`` and ``executor=`` keywords.  That is the right seam for tests
+and benchmarks, but a user who just wants "ingest, then query, with
+one observability stack and one worker pool" ends up threading the
+same two objects through four constructors (the scatter visible in
+``docs/API.md``).
+
+``Session`` owns that wiring: one ``Obs``, one ``Executor``, one
+``CarpRun``, created together and torn down together::
+
+    from repro.api import Session
+
+    with Session(nranks=16, out_dir="out/") as session:
+        session.ingest_epoch(0, streams)
+        result = session.query(epoch=0, lo=16.0, hi=64.0)
+    # logs closed, executor shut down, metrics still readable
+
+Views handed out by :meth:`Session.store` and :meth:`Session.reader`
+are attached: they share the session's obs/executor, the reader wraps
+the session's store (one set of file handles), and the session closes
+them.  The underlying constructors keep working unchanged for callers
+that want manual control.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from types import TracebackType
+
+from repro.core.carp import CarpRun, EpochStats
+from repro.core.config import CarpOptions
+from repro.core.records import RecordBatch
+from repro.exec.api import Executor
+from repro.exec.factory import resolve_executor
+from repro.obs import NULL_OBS, Obs
+from repro.query.engine import PartitionedStore, QueryResult
+from repro.query.reader import RangeReader
+from repro.sim.iomodel import IOModel
+
+
+class Session:
+    """One CARP ingest-and-query context: obs + executor + run + views.
+
+    Parameters mirror :class:`~repro.core.carp.CarpRun`; ``record=True``
+    is a convenience that builds a recording ``Obs`` stack
+    (``Obs.recording()``) when no explicit ``obs=`` is given.  The
+    executor resolves like everywhere else: explicit ``executor=``
+    wins, then ``CARP_EXECUTOR``/``CARP_WORKERS``, then serial — and a
+    session-created executor is closed by the session.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        out_dir: Path | str,
+        options: CarpOptions | None = None,
+        nreceivers: int | None = None,
+        obs: Obs | None = None,
+        executor: Executor | None = None,
+        io: IOModel | None = None,
+        record: bool = False,
+    ) -> None:
+        if obs is None:
+            self.obs = Obs.recording() if record else NULL_OBS
+        else:
+            self.obs = obs
+        self.executor, self._exec_owned = resolve_executor(executor)
+        self.io = io or IOModel()
+        self.out_dir = Path(out_dir)
+        self.run = CarpRun(
+            nranks,
+            self.out_dir,
+            options,
+            nreceivers=nreceivers,
+            obs=self.obs,
+            executor=self.executor,
+        )
+        self._store: PartitionedStore | None = None
+        self._reader: RangeReader | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------ ingest
+
+    def ingest_epoch(self, epoch: int, streams: list[RecordBatch]) -> EpochStats:
+        """Ingest one epoch through the session's :class:`CarpRun`."""
+        stats = self.run.ingest_epoch(epoch, streams)
+        # the logs grew, so any open store view is stale
+        self._invalidate_views()
+        return stats
+
+    # ------------------------------------------------------------- views
+
+    def store(self) -> PartitionedStore:
+        """An attached read view over the session's output directory.
+
+        Created lazily (the run's buffered epochs must be finished
+        before the logs are readable) and cached; re-opened after each
+        further :meth:`ingest_epoch`.
+        """
+        self._check_open()
+        if self._store is None:
+            self._store = PartitionedStore(
+                self.out_dir, io=self.io, obs=self.obs, executor=self.executor
+            )
+        return self._store
+
+    def reader(self) -> RangeReader:
+        """An attached :class:`RangeReader` wrapping the session store."""
+        self._check_open()
+        if self._reader is None:
+            self._reader = RangeReader(store=self.store())
+        return self._reader
+
+    def query(
+        self, epoch: int, lo: float, hi: float, keys_only: bool = False
+    ) -> QueryResult:
+        """Range query against the session's output."""
+        return self.store().query(epoch, lo, hi, keys_only=keys_only)
+
+    # ---------------------------------------------------------- plumbing
+
+    def _invalidate_views(self) -> None:
+        if self._reader is not None:
+            self._reader.close()  # wrapped: does not close the store
+            self._reader = None
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    def write_metrics(self, path: Path | str | None = None) -> Path:
+        """Persist the session's metrics snapshot (``metrics.json``)."""
+        target = Path(path) if path is not None else self.out_dir / "metrics.json"
+        return self.obs.metrics.write_json(target)
+
+    def close(self) -> None:
+        """Close views, the run, and any session-owned executor."""
+        if self._closed:
+            return
+        self._closed = True
+        self._invalidate_views()
+        self.run.close()
+        if self._exec_owned:
+            self.executor.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()

@@ -28,6 +28,9 @@ from repro.core.rank import CarpRankState
 from repro.core.records import RecordBatch
 from repro.core.renegotiation import RenegStats, negotiate
 from repro.core.triggers import PeriodicTrigger, TriggerLog, TriggerReason
+from repro.exec.api import Executor
+from repro.exec.factory import resolve_executor
+from repro.exec.shards import KoiDBProxy, KoiDBShardClient
 from repro.obs import MESSAGE_TICK, NULL_OBS, RECORD_TICK, ROUND_TICK, Obs
 from repro.shuffle.flow import DelayQueue, ShuffleMessage
 from repro.shuffle.router import range_route, split_by_destination
@@ -106,6 +109,7 @@ class CarpRun:
         options: CarpOptions | None = None,
         nreceivers: int | None = None,
         obs: Obs | None = None,
+        executor: Executor | None = None,
     ) -> None:
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
@@ -139,10 +143,25 @@ class CarpRun:
         )
         self._g_in_flight = metrics.gauge("shuffle.in_flight_records")
         self.ranks = [CarpRankState(r, self.options) for r in range(nranks)]
-        self.koidbs = [
-            KoiDB(r, self.out_dir, self.options, obs=self.obs)
-            for r in range(self.nreceivers)
-        ]
+        # with a parallel executor each receiver rank's KoiDB lives on
+        # its sticky shard worker; the driver holds command-buffering
+        # proxies instead and syncs them at epoch barriers — the
+        # per-rank command streams replayed there are exactly the
+        # serial call sequence, so the log bytes are identical
+        self._executor, self._exec_owned = resolve_executor(executor)
+        self.koidbs: list[KoiDB] | list[KoiDBProxy]
+        if self._executor.is_serial:
+            self._shards: KoiDBShardClient | None = None
+            self.koidbs = [
+                KoiDB(r, self.out_dir, self.options, obs=self.obs)
+                for r in range(self.nreceivers)
+            ]
+        else:
+            self._shards = KoiDBShardClient(
+                self._executor, self.out_dir, self.options,
+                self.nreceivers, obs=self.obs,
+            )
+            self.koidbs = self._shards.proxies
         self.table: PartitionTable | None = None
         self._version = 0
         self._flow: DelayQueue | None = None
@@ -154,8 +173,13 @@ class CarpRun:
     # ----------------------------------------------------------- plumbing
 
     def close(self) -> None:
-        for db in self.koidbs:
-            db.close()
+        if self._shards is not None:
+            self._shards.close()
+        else:
+            for db in self.koidbs:
+                db.close()
+        if self._exec_owned:
+            self._executor.close()
 
     def __enter__(self) -> "CarpRun":
         return self
@@ -350,6 +374,11 @@ class CarpRun:
         self._deliver(self._flow.drain())
         for db in self.koidbs:
             db.finish_epoch()
+        if self._shards is not None:
+            # the barrier replays outstanding command streams on the
+            # shard workers and syncs proxy stats/offsets/metrics, so
+            # the reads below see the finished epoch
+            self._shards.barrier()
 
         stats.partition_loads = np.array(
             [db.stats.records_in - before for db, before in zip(self.koidbs, records_before)],

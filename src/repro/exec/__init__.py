@@ -1,0 +1,63 @@
+"""``repro.exec`` — shared-nothing parallel execution backends.
+
+CARP's per-rank logs are a natural shard boundary (paper §VII-A: the
+layout exists to "allow for parallel processing of a query"); this
+package makes that executable.  An :class:`Executor` runs *shard
+tasks* — module-level functions bound to sticky, worker-exclusive
+per-shard state — with three interchangeable backends:
+
+* :class:`SerialExecutor` — the zero-overhead default, inline.
+* :class:`ThreadExecutor` — a thread pool; wins when tasks release the
+  GIL (file I/O, NumPy kernels).
+* :class:`ProcessExecutor` — a process pool; fully shared-nothing,
+  sidesteps the GIL at a pickling cost.
+
+The hot paths (``CarpRun.ingest_epoch``, ``PartitionedStore.query``,
+the compactor) accept ``executor=`` exactly like ``obs=`` and produce
+bit-identical output on every backend; ``CARP_EXECUTOR`` /
+``CARP_WORKERS`` select a backend environment-wide.  The model, the
+ownership rules, and the determinism contract are documented in
+``docs/PARALLELISM.md``; carp-lint's P6xx family enforces the worker
+task constraints.
+"""
+
+from __future__ import annotations
+
+from repro.exec.api import (
+    SERIAL_EXEC,
+    Executor,
+    ExecutorError,
+    SerialExecutor,
+    TaskFn,
+    WorkerCrashError,
+    WorkerTaskError,
+    worker_of,
+)
+from repro.exec.factory import (
+    EXECUTOR_KINDS,
+    add_executor_args,
+    default_executor,
+    executor_from_args,
+    make_executor,
+    resolve_executor,
+)
+from repro.exec.pools import ProcessExecutor, ThreadExecutor
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "SERIAL_EXEC",
+    "TaskFn",
+    "worker_of",
+    "ExecutorError",
+    "WorkerTaskError",
+    "WorkerCrashError",
+    "EXECUTOR_KINDS",
+    "make_executor",
+    "default_executor",
+    "resolve_executor",
+    "add_executor_args",
+    "executor_from_args",
+]

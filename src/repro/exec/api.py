@@ -1,0 +1,181 @@
+"""The :class:`Executor` contract and its in-process serial backend.
+
+CARP's per-rank logs exist precisely so that ingest and probing can be
+"processed in parallel" (paper §VII-A); this module defines the seam
+that makes that executable instead of merely priced.  An executor runs
+*shard tasks*: plain module-level functions invoked as
+``fn(state, *args)`` where ``state`` is a mutable mapping that is
+
+* **sticky** — every task submitted for the same shard key sees the
+  same mapping, for the lifetime of the executor, and
+* **exclusive** — owned by exactly one worker, so no two tasks ever
+  touch it concurrently (shared-nothing by construction).
+
+Tasks for one shard execute in submission order; tasks for different
+shards may run concurrently.  :meth:`Executor.drain` is the barrier
+that returns every result since the previous drain, in submission
+order, which is what lets callers merge worker output back
+deterministically no matter how execution interleaved.
+
+Determinism contract (see ``docs/PARALLELISM.md``): a task function
+must derive its output purely from ``state`` and its arguments — never
+from module-level mutable state (lint rule P601) — and must not build
+recording observability stacks (rule P602); workers report metrics as
+plain deltas that the driver merges in shard order.
+"""
+
+from __future__ import annotations
+
+import abc
+import traceback
+from collections.abc import Callable, Sequence
+from typing import Any
+
+#: Signature every shard task follows: ``fn(state, *args) -> result``.
+TaskFn = Callable[..., Any]
+
+
+class ExecutorError(RuntimeError):
+    """Base class for executor failures."""
+
+
+class WorkerTaskError(ExecutorError):
+    """A shard task raised; carries the worker-side traceback text."""
+
+    def __init__(self, shard: int, cause: str, traceback_text: str = "") -> None:
+        self.shard = shard
+        self.cause = cause
+        self.traceback_text = traceback_text
+        detail = f"\n--- worker traceback ---\n{traceback_text}" if traceback_text else ""
+        super().__init__(f"task on shard {shard} failed: {cause}{detail}")
+
+
+class WorkerCrashError(ExecutorError):
+    """A worker process died without reporting a result."""
+
+
+def worker_of(shard: int, workers: int) -> int:
+    """The worker index that owns ``shard`` (sticky modulo assignment).
+
+    Shard ownership never migrates: all tasks for one shard run on
+    ``shard % workers``, which is what keeps per-shard state (an open
+    KoiDB, a reader cache) local to exactly one worker.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if shard < 0:
+        raise ValueError("shard keys must be non-negative")
+    return shard % workers
+
+
+class Executor(abc.ABC):
+    """Deterministic shard-task executor (see module docstring)."""
+
+    #: Human-readable backend name (``serial`` / ``thread`` / ``process``).
+    name: str = ""
+    #: Number of workers tasks are spread across.
+    workers: int = 1
+
+    @property
+    def is_serial(self) -> bool:
+        """True when tasks run inline on the calling thread.
+
+        Hot paths use this to keep their zero-overhead direct code path
+        instead of routing through the task machinery.
+        """
+        return False
+
+    @abc.abstractmethod
+    def submit(self, shard: int, fn: TaskFn, /, *args: Any) -> None:
+        """Queue ``fn(state, *args)`` on the worker owning ``shard``."""
+
+    @abc.abstractmethod
+    def drain(self) -> list[Any]:
+        """Wait for every task submitted since the last drain.
+
+        Returns their results in submission order.  If any task raised,
+        the submission-order-first failure is re-raised as
+        :class:`WorkerTaskError` (remaining results are discarded; the
+        executor stays usable).
+        """
+
+    def map(
+        self,
+        fn: TaskFn,
+        arg_tuples: Sequence[tuple[Any, ...]],
+        shards: Sequence[int] | None = None,
+    ) -> list[Any]:
+        """Submit one task per argument tuple and drain.
+
+        ``shards[i]`` keys task ``i``; by default task index is used,
+        which spreads independent items across all workers.
+        """
+        if shards is not None and len(shards) != len(arg_tuples):
+            raise ValueError("shards and arg_tuples must have equal length")
+        for i, args in enumerate(arg_tuples):
+            self.submit(shards[i] if shards is not None else i, fn, *args)
+        return self.drain()
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release workers and per-shard state.  Idempotent."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} workers={self.workers}>"
+
+
+class SerialExecutor(Executor):
+    """Run every task inline on the calling thread.
+
+    The default backend everywhere: consumers check
+    :attr:`Executor.is_serial` and keep their direct code path, so a
+    serial run pays a single attribute check.  When tasks *are*
+    submitted (e.g. exercising worker functions in tests) they run
+    immediately with the same sticky-state semantics as the parallel
+    backends.
+    """
+
+    name = "serial"
+    workers = 1
+
+    def __init__(self) -> None:
+        self._states: dict[int, dict[str, Any]] = {}
+        self._results: list[Any] = []
+        self._failure: WorkerTaskError | None = None
+
+    @property
+    def is_serial(self) -> bool:
+        return True
+
+    def submit(self, shard: int, fn: TaskFn, /, *args: Any) -> None:
+        if self._failure is not None:
+            return  # drain will raise; mirror parallel fail-fast drains
+        state = self._states.setdefault(shard, {})
+        try:
+            self._results.append(fn(state, *args))
+        except Exception as exc:  # noqa: BLE001 - uniform worker semantics
+            self._failure = WorkerTaskError(shard, repr(exc), traceback.format_exc())
+
+    def drain(self) -> list[Any]:
+        results, self._results = self._results, []
+        failure, self._failure = self._failure, None
+        if failure is not None:
+            raise failure
+        return results
+
+    def close(self) -> None:
+        self._states.clear()
+        self._results.clear()
+        self._failure = None
+
+
+#: Shared default executor.  Stateless use only (the built-in serial
+#: paths never submit tasks to it); anything needing sticky shard state
+#: should own a fresh executor instance.
+SERIAL_EXEC = SerialExecutor()

@@ -1,0 +1,111 @@
+"""Executor construction: by name, from the environment, from a CLI.
+
+The injection convention mirrors ``obs=``: every parallelizable entry
+point takes ``executor=`` and defaults to the zero-overhead serial
+backend.  ``executor=None`` additionally consults the environment —
+``CARP_EXECUTOR={serial,thread,process}`` and ``CARP_WORKERS=N`` — so a
+CI leg can push a whole test suite through the process pool without
+touching call sites.  :func:`resolve_executor` reports whether the
+consumer owns (and must close) the executor it got back.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+from repro.exec.api import SERIAL_EXEC, Executor, SerialExecutor
+from repro.exec.pools import ProcessExecutor, ThreadExecutor
+
+#: Recognized ``CARP_EXECUTOR`` / ``--executor`` backend names.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+ENV_EXECUTOR = "CARP_EXECUTOR"
+ENV_WORKERS = "CARP_WORKERS"
+
+
+def default_worker_count() -> int:
+    """Workers used when none are requested: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def make_executor(kind: str, workers: int | None = None) -> Executor:
+    """Construct a backend by name.
+
+    ``workers`` defaults to the CPU count for the pool backends and is
+    ignored for ``serial``.  Workers spawn lazily, so an executor that
+    is never submitted to costs nothing.
+    """
+    if kind == "serial":
+        return SerialExecutor()
+    n = workers if workers is not None else default_worker_count()
+    if kind == "thread":
+        return ThreadExecutor(n)
+    if kind == "process":
+        return ProcessExecutor(n)
+    raise ValueError(
+        f"unknown executor kind {kind!r} (expected one of {EXECUTOR_KINDS})"
+    )
+
+
+def default_executor() -> Executor:
+    """The environment-selected executor.
+
+    Returns the shared :data:`~repro.exec.api.SERIAL_EXEC` unless
+    ``CARP_EXECUTOR`` names a pool backend; ``CARP_WORKERS`` sizes it.
+    """
+    kind = os.environ.get(ENV_EXECUTOR, "").strip().lower()
+    if not kind or kind == "serial":
+        return SERIAL_EXEC
+    raw_workers = os.environ.get(ENV_WORKERS, "").strip()
+    workers = int(raw_workers) if raw_workers else None
+    return make_executor(kind, workers)
+
+
+def resolve_executor(executor: Executor | None) -> tuple[Executor, bool]:
+    """Resolve an ``executor=`` keyword to ``(executor, owned)``.
+
+    ``owned`` is True when the executor was created here (from the
+    environment) and the consumer is responsible for closing it; an
+    explicitly injected executor stays owned by its caller, matching
+    the ``obs=`` convention.
+    """
+    if executor is not None:
+        return executor, False
+    resolved = default_executor()
+    return resolved, resolved is not SERIAL_EXEC
+
+
+# ------------------------------------------------------------------- CLI
+
+def add_executor_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the uniform ``--executor`` / ``--workers`` flags."""
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        default=None,
+        help="execution backend for parallelizable stages "
+        f"(default: ${ENV_EXECUTOR} or serial)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=f"worker count for pool backends (default: ${ENV_WORKERS} or CPU count)",
+    )
+
+
+def executor_from_args(args: argparse.Namespace) -> tuple[Executor, bool]:
+    """Build ``(executor, owned)`` from parsed CLI flags.
+
+    Flags win over the environment; with neither present this falls
+    back to :func:`resolve_executor`'s environment handling.
+    """
+    if args.executor is None and args.workers is None:
+        return resolve_executor(None)
+    kind = args.executor
+    if kind is None:
+        kind = os.environ.get(ENV_EXECUTOR, "").strip().lower() or "serial"
+    executor = make_executor(kind, args.workers)
+    return executor, executor is not SERIAL_EXEC

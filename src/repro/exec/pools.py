@@ -1,0 +1,288 @@
+"""Thread- and process-pool executors with sticky shard ownership.
+
+Both pools share one architecture: each worker owns a private task
+queue and the shards assigned to it by :func:`~repro.exec.api.worker_of`
+never migrate, so per-shard state (an open KoiDB, a reader cache) is
+touched by exactly one worker for the executor's lifetime.  Results
+flow back over a single shared queue tagged with submission tickets;
+:meth:`drain` reorders them into submission order, which is the whole
+reason callers can merge worker output deterministically.
+
+``ThreadExecutor`` shares the caller's address space — per-shard state
+holds live objects, nothing is pickled, but the GIL serializes pure-
+Python work (NumPy kernels and file I/O release it).
+``ProcessExecutor`` is fully shared-nothing: task functions must be
+module-level (pickled by reference; lint rule P601 keeps them free of
+module-level mutable state) and arguments/results cross a pickle
+boundary.  See ``docs/PARALLELISM.md`` for when each wins.
+
+Workers spawn lazily on the first submit, so constructing an executor
+— e.g. the default from ``CARP_EXECUTOR`` — costs nothing until it is
+actually used.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import traceback
+from typing import Any
+
+from repro.exec.api import (
+    Executor,
+    ExecutorError,
+    TaskFn,
+    WorkerCrashError,
+    WorkerTaskError,
+    worker_of,
+)
+
+# Seconds between liveness checks while a drain waits on the result
+# queue.  Purely a polling cadence for failure detection; results are
+# consumed the moment they arrive.
+_POLL_TIMEOUT = 0.1
+
+_OK = "ok"
+_ERR = "err"
+
+
+def _thread_worker_main(
+    task_q: "queue.SimpleQueue[tuple[int, int, TaskFn, tuple[Any, ...]] | None]",
+    result_q: "queue.SimpleQueue[tuple[Any, ...]]",
+) -> None:
+    """Worker loop shared by every :class:`ThreadExecutor` thread."""
+    states: dict[int, dict[str, Any]] = {}
+    while True:
+        item = task_q.get()
+        if item is None:
+            return
+        tid, shard, fn, args = item
+        state = states.setdefault(shard, {})
+        try:
+            value = fn(state, *args)
+        except Exception as exc:  # noqa: BLE001 - reported via the queue
+            result_q.put((_ERR, tid, shard, repr(exc), traceback.format_exc()))
+        else:
+            result_q.put((_OK, tid, value))
+
+
+def _process_worker_main(task_q: Any, result_q: Any) -> None:
+    """Worker loop run inside every :class:`ProcessExecutor` child.
+
+    Identical protocol to the thread loop, but everything crossing the
+    queues is pickled, so task results must serialize cleanly and task
+    functions must be importable module-level callables.
+    """
+    states: dict[int, dict[str, Any]] = {}
+    while True:
+        item = task_q.get()
+        if item is None:
+            return
+        tid, shard, fn, args = item
+        state = states.setdefault(shard, {})
+        try:
+            value = fn(state, *args)
+        except Exception as exc:  # noqa: BLE001 - reported via the queue
+            result_q.put((_ERR, tid, shard, repr(exc), traceback.format_exc()))
+        else:
+            result_q.put((_OK, tid, value))
+
+
+class _PoolExecutor(Executor):
+    """Ticketed submit/drain machinery shared by both pool backends."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._started = False
+        self._closed = False
+        self._next_tid = 0
+        # tid -> shard, for every task submitted since the last drain
+        self._pending: dict[int, int] = {}
+
+    # ------------------------------------------------------ subclass API
+
+    def _start(self) -> None:
+        """Spawn workers and create queues (called once, lazily)."""
+        raise NotImplementedError
+
+    def _enqueue(self, worker: int, item: tuple[Any, ...]) -> None:
+        raise NotImplementedError
+
+    def _result_get(self) -> tuple[Any, ...]:
+        """Blocking result fetch; may raise ``queue.Empty`` on timeout."""
+        raise NotImplementedError
+
+    def _check_workers_alive(self) -> None:
+        """Raise :class:`WorkerCrashError` if any worker died."""
+
+    def _shutdown(self) -> None:
+        """Tear down workers (sentinels already sent by :meth:`close`)."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------- Executor
+
+    def submit(self, shard: int, fn: TaskFn, /, *args: Any) -> None:
+        if self._closed:
+            raise ExecutorError(f"{type(self).__name__} is closed")
+        if not self._started:
+            self._start()
+            self._started = True
+        tid = self._next_tid
+        self._next_tid += 1
+        self._pending[tid] = shard
+        self._enqueue(worker_of(shard, self.workers), (tid, shard, fn, args))
+
+    def drain(self) -> list[Any]:
+        outcomes: dict[int, tuple[Any, ...]] = {}
+        while len(outcomes) < len(self._pending):
+            try:
+                msg = self._result_get()
+            except queue.Empty:
+                self._check_workers_alive()
+                continue
+            outcomes[msg[1]] = msg
+        pending, self._pending = self._pending, {}
+        failure: WorkerTaskError | None = None
+        results: list[Any] = []
+        for tid in sorted(pending):
+            msg = outcomes[tid]
+            if msg[0] == _ERR:
+                failure = WorkerTaskError(msg[2], msg[3], msg[4])
+                break
+            results.append(msg[2])
+        if failure is not None:
+            raise failure
+        return results
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            self._shutdown()
+        self._pending.clear()
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Shard tasks on a fixed pool of daemon threads.
+
+    Best when tasks spend their time outside the GIL — file reads,
+    NumPy sorting/searching — or when task state (open file handles,
+    live objects) cannot cross a process boundary.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int) -> None:
+        super().__init__(workers)
+        self._task_qs: list[queue.SimpleQueue[Any]] = []
+        self._result_q: queue.SimpleQueue[tuple[Any, ...]] = queue.SimpleQueue()
+        self._threads: list[threading.Thread] = []
+
+    def _start(self) -> None:
+        for i in range(self.workers):
+            task_q: queue.SimpleQueue[Any] = queue.SimpleQueue()
+            thread = threading.Thread(
+                target=_thread_worker_main,
+                args=(task_q, self._result_q),
+                name=f"carp-exec-{i}",
+                daemon=True,
+            )
+            self._task_qs.append(task_q)
+            self._threads.append(thread)
+            thread.start()
+
+    def _enqueue(self, worker: int, item: tuple[Any, ...]) -> None:
+        self._task_qs[worker].put(item)
+
+    def _result_get(self) -> tuple[Any, ...]:
+        return self._result_q.get(timeout=_POLL_TIMEOUT)
+
+    def _shutdown(self) -> None:
+        for task_q in self._task_qs:
+            task_q.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._task_qs.clear()
+        self._threads.clear()
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Shard tasks on a pool of worker processes (shared-nothing).
+
+    Each worker process owns the per-shard state for its shards; tasks
+    and results cross a pickle boundary.  This sidesteps the GIL
+    entirely, at the price of serialization and process startup — see
+    ``docs/PARALLELISM.md`` for the trade-off against threads.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int) -> None:
+        super().__init__(workers)
+        # fork avoids re-importing the world per worker where the OS
+        # supports it; tasks are spawn-safe regardless (P601 bans the
+        # module-global state that fork would otherwise paper over).
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._task_qs: list[Any] = []
+        self._result_q: Any = None
+        self._procs: list[Any] = []
+
+    def _start(self) -> None:
+        self._result_q = self._ctx.Queue()
+        for i in range(self.workers):
+            task_q = self._ctx.Queue()
+            proc = self._ctx.Process(
+                target=_process_worker_main,
+                args=(task_q, self._result_q),
+                name=f"carp-exec-{i}",
+                daemon=True,
+            )
+            self._task_qs.append(task_q)
+            self._procs.append(proc)
+            proc.start()
+
+    def _enqueue(self, worker: int, item: tuple[Any, ...]) -> None:
+        self._task_qs[worker].put(item)
+
+    def _result_get(self) -> tuple[Any, ...]:
+        assert self._result_q is not None
+        msg: tuple[Any, ...] = self._result_q.get(timeout=_POLL_TIMEOUT)
+        return msg
+
+    def _check_workers_alive(self) -> None:
+        dead = [
+            (proc.name, proc.exitcode)
+            for proc in self._procs
+            if not proc.is_alive() and proc.exitcode not in (0, None)
+        ]
+        if dead:
+            self._closed = True
+            self._shutdown()
+            detail = ", ".join(f"{name} (exit {code})" for name, code in dead)
+            raise WorkerCrashError(
+                f"worker process died without reporting a result: {detail}"
+            )
+
+    def _shutdown(self) -> None:
+        for task_q in self._task_qs:
+            try:
+                task_q.put(None)
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        if self._result_q is not None:
+            self._result_q.close()
+            self._result_q = None
+        self._task_qs.clear()
+        self._procs.clear()

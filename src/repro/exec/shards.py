@@ -1,0 +1,172 @@
+"""Driver-side shard plumbing for parallel KoiDB ingest.
+
+``CarpRun`` routing never depends on a KoiDB response, so a parallel
+run can treat each destination rank's KoiDB as a *replayed command
+stream*: the driver buffers the per-rank sequence of
+begin / set_owned_range / ingest / finish / close calls and ships it to
+the shard worker that owns the rank, where
+:func:`repro.exec.work.koidb_apply` replays it against a real KoiDB.
+Because the per-rank sequence is identical to what a serial run would
+have executed, the rank's log bytes come out identical — that is the
+whole determinism argument.
+
+:class:`KoiDBProxy` is the drop-in stand-in ``CarpRun`` holds instead
+of a live ``KoiDB``; it exposes the same call surface plus the
+driver-visible read side (``stats``, ``log.offset``), refreshed at
+every :meth:`KoiDBShardClient.barrier`.  Driver code must only read
+proxy state after a barrier — ``CarpRun`` barriers after the
+finish-epoch fan-out, which is exactly where it reads stats.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.config import CarpOptions
+from repro.core.records import RecordBatch
+from repro.exec.api import Executor
+from repro.exec.work import KoiDBApplyResult, KoiDBCommand, koidb_apply
+from repro.obs import NULL_OBS, Obs
+from repro.storage.koidb import KoiDBStats
+
+
+class _ProxyLog:
+    """Mirror of the worker-side ``LogWriter`` read surface."""
+
+    __slots__ = ("offset",)
+
+    def __init__(self) -> None:
+        self.offset = 0
+
+
+class KoiDBProxy:
+    """Command-buffering stand-in for one rank's worker-held KoiDB."""
+
+    __slots__ = ("rank", "stats", "log", "_client")
+
+    def __init__(self, rank: int, client: "KoiDBShardClient") -> None:
+        self.rank = rank
+        self.stats = KoiDBStats()
+        self.log = _ProxyLog()
+        self._client = client
+
+    def begin_epoch(self, epoch: int) -> None:
+        self._client.enqueue(self.rank, ("begin", epoch))
+
+    def set_owned_range(self, lo: float, hi: float, inclusive_hi: bool) -> None:
+        self._client.enqueue(self.rank, ("own", lo, hi, inclusive_hi))
+
+    def ingest(self, batch: RecordBatch) -> None:
+        self._client.enqueue(self.rank, ("ingest", batch))
+
+    def finish_epoch(self) -> None:
+        self._client.enqueue(self.rank, ("finish",))
+
+    def close(self) -> None:
+        self._client.close_rank(self.rank)
+
+
+class KoiDBShardClient:
+    """Buffers per-rank KoiDB command streams and runs the barriers.
+
+    One instance per parallel ``CarpRun``; rank ``r`` is shard key
+    ``r`` on the bound executor, so sticky assignment gives each worker
+    a disjoint set of rank directories (shared-nothing ownership).
+    Buffers auto-flush once a rank accumulates a memtable's worth of
+    records, keeping task granularity coarse enough to amortize
+    dispatch overhead.
+    """
+
+    def __init__(
+        self,
+        executor: Executor,
+        directory: Path,
+        options: CarpOptions,
+        nreceivers: int,
+        obs: Obs | None = None,
+    ) -> None:
+        self._executor = executor
+        self._directory = str(directory)
+        self._options = options
+        self._obs = obs if obs is not None else NULL_OBS
+        self._record_obs = self._obs.enabled
+        # declare the per-rank flush tracks exactly as serial KoiDB
+        # constructors would: track *layout* is driver-owned even
+        # though worker-side flush spans are not replayed (trace
+        # events are outside the determinism contract)
+        for r in range(nreceivers):
+            self._obs.track("flush", f"rank {r}")
+        self.proxies = [KoiDBProxy(r, self) for r in range(nreceivers)]
+        self._buffers: list[list[KoiDBCommand]] = [[] for _ in range(nreceivers)]
+        self._buffered_records = [0] * nreceivers
+        self._flush_records = max(options.memtable_records, options.round_records)
+        self._rank_closed = [False] * nreceivers
+        self._closed = False
+
+    # --------------------------------------------------------- buffering
+
+    def enqueue(self, rank: int, command: KoiDBCommand) -> None:
+        if self._closed or self._rank_closed[rank]:
+            # a re-sent close would make the worker re-open (and
+            # truncate) the rank log; refuse anything after close
+            raise RuntimeError(f"KoiDB shard for rank {rank} is closed")
+        self._buffers[rank].append(command)
+        if command[0] == "ingest":
+            self._buffered_records[rank] += len(command[1])
+            if self._buffered_records[rank] >= self._flush_records:
+                self._submit(rank)
+
+    def _submit(self, rank: int) -> None:
+        commands = self._buffers[rank]
+        if not commands:
+            return
+        self._buffers[rank] = []
+        self._buffered_records[rank] = 0
+        self._executor.submit(
+            rank,
+            koidb_apply,
+            rank,
+            self._directory,
+            self._options,
+            self._record_obs,
+            commands,
+        )
+
+    # ---------------------------------------------------------- barriers
+
+    def barrier(self) -> None:
+        """Flush every buffer, wait for the workers, sync proxy state.
+
+        Worker metric deltas are merged into the driver registry in
+        submission order (rank-major, deterministic); per-rank stats
+        and log offsets replace the proxies' copies with the workers'
+        newest cumulative values.
+        """
+        for rank in range(len(self.proxies)):
+            self._submit(rank)
+        results = self._executor.drain()
+        for result in results:
+            assert isinstance(result, KoiDBApplyResult)
+            proxy = self.proxies[result.rank]
+            proxy.stats = result.stats
+            proxy.log.offset = result.log_offset
+            self._obs.metrics.merge_worker_delta(result.metrics)
+
+    def close_rank(self, rank: int) -> None:
+        """Close one rank's worker-held KoiDB (idempotent)."""
+        if self._closed or self._rank_closed[rank]:
+            return
+        self.enqueue(rank, ("close",))
+        self._rank_closed[rank] = True
+        self.barrier()
+
+    def close(self) -> None:
+        """Enqueue a close for every open rank and run the final barrier."""
+        if self._closed:
+            return
+        for proxy in self.proxies:
+            if not self._rank_closed[proxy.rank]:
+                self.enqueue(proxy.rank, ("close",))
+                self._rank_closed[proxy.rank] = True
+        self.barrier()
+        self._closed = True

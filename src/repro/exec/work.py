@@ -1,0 +1,228 @@
+"""Module-level worker task functions for the CARP hot paths.
+
+Everything here follows the executor task contract
+(:mod:`repro.exec.api`): plain top-level functions taking the sticky
+per-shard ``state`` mapping first, deriving their output only from
+``state`` and arguments (rule P601), and recording metrics — when asked
+to — into a private ``Obs.deltas()`` stack whose snapshot delta is
+returned as plain data (rule P602).  Task functions must stay at module
+level so :class:`~repro.exec.pools.ProcessExecutor` can pickle them by
+reference.
+
+The ingest task is a *command replay*: ``CarpRun`` routing never
+depends on KoiDB responses, so the driver can buffer each destination
+rank's command stream (begin / own / ingest / finish / close) and have
+the owning shard worker replay it verbatim — producing the exact bytes
+a serial run would have appended to that rank's log.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import CarpOptions
+from repro.core.records import RecordBatch, range_mask
+from repro.obs import NULL_OBS, Obs, snapshot_delta
+from repro.storage.koidb import KoiDB, KoiDBStats
+from repro.storage.log import LogReader
+from repro.storage.manifest import ManifestEntry
+
+# ----------------------------------------------------------------- ingest
+
+#: Command verbs of the KoiDB replay stream, in the order CarpRun
+#: emits them: ("begin", epoch) | ("own", lo, hi, inclusive_hi) |
+#: ("ingest", RecordBatch) | ("finish",) | ("close",)
+KoiDBCommand = tuple[Any, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class KoiDBApplyResult:
+    """What a shard worker reports back after replaying commands."""
+
+    rank: int
+    stats: KoiDBStats
+    log_offset: int
+    metrics: dict[str, object]
+
+
+def koidb_apply(
+    state: dict[str, Any],
+    rank: int,
+    directory: str,
+    options: CarpOptions,
+    record_obs: bool,
+    commands: list[KoiDBCommand],
+) -> KoiDBApplyResult:
+    """Replay a batch of KoiDB commands on the shard owning ``rank``.
+
+    The first call opens the rank's KoiDB inside the worker (truncating
+    the rank log exactly as a serial ``CarpRun`` construction would);
+    subsequent calls reuse it, so the log grows as one contiguous
+    append stream.  Returns a copy of the cumulative ``KoiDBStats``,
+    the log offset, and the metrics recorded since the previous call.
+    """
+    db: KoiDB | None = state.get("koidb")
+    if db is None:
+        if state.get("closed"):
+            # re-opening would truncate the rank log a closed KoiDB
+            # already finalized
+            raise RuntimeError(f"KoiDB for rank {rank} was already closed")
+        obs = Obs.deltas() if record_obs else NULL_OBS
+        db = KoiDB(rank, Path(directory), options, obs=obs)
+        state["koidb"] = db
+        state["obs"] = obs
+        state["prev_snapshot"] = obs.metrics.snapshot()
+    elif db.rank != rank or db.directory != Path(directory):
+        raise RuntimeError(
+            f"shard state collision: worker holds KoiDB rank {db.rank} at "
+            f"{db.directory}, got commands for rank {rank} at {directory} "
+            "(one executor instance per CarpRun)"
+        )
+    for command in commands:
+        verb = command[0]
+        if verb == "ingest":
+            db.ingest(command[1])
+        elif verb == "own":
+            db.set_owned_range(command[1], command[2], command[3])
+        elif verb == "begin":
+            db.begin_epoch(command[1])
+        elif verb == "finish":
+            db.finish_epoch()
+        elif verb == "close":
+            db.close()
+            state.pop("koidb", None)
+            state["closed"] = True
+        else:
+            raise ValueError(f"unknown KoiDB command {verb!r}")
+    obs = state["obs"]
+    current = obs.metrics.snapshot()
+    delta = snapshot_delta(current, state["prev_snapshot"])
+    state["prev_snapshot"] = current
+    return KoiDBApplyResult(
+        rank=rank,
+        stats=dataclasses.replace(db.stats),
+        log_offset=db.log.offset,
+        metrics=delta,
+    )
+
+
+# ------------------------------------------------------------------ query
+
+@dataclasses.dataclass(frozen=True)
+class LogProbeResult:
+    """Per-log probe output, in the log's candidate-entry order."""
+
+    bytes_read: int
+    scanned: int
+    requests: int
+    runs: list[RecordBatch]
+    key_runs: list[np.ndarray]
+
+
+def _cached_reader(state: dict[str, Any], path: str, recover: bool) -> LogReader:
+    readers: dict[tuple[str, bool], LogReader] = state.setdefault("readers", {})
+    key = (path, recover)
+    reader = readers.get(key)
+    if reader is None:
+        reader = LogReader(Path(path), recover=recover)
+        readers[key] = reader
+    return reader
+
+
+def probe_log(
+    state: dict[str, Any],
+    path: str,
+    recover: bool,
+    entries: list[ManifestEntry],
+    lo: float,
+    hi: float,
+    keys_only: bool,
+) -> LogProbeResult:
+    """Read and range-filter one log's candidate SSTs for a query.
+
+    Mirrors the per-entry loop of ``PartitionedStore.query`` exactly —
+    same read sizes, same masks, same run order — so the driver can
+    concatenate per-log results (in reader-index order) and land on the
+    identical merged ``QueryResult``.  Log readers are cached in shard
+    state keyed by ``(path, recover)``.
+    """
+    from repro.storage.blocks import key_block_size
+    from repro.storage.sstable import HEADER_SIZE
+
+    reader = _cached_reader(state, path, recover)
+    bytes_read = 0
+    scanned = 0
+    runs: list[RecordBatch] = []
+    key_runs: list[np.ndarray] = []
+    for entry in entries:
+        if keys_only:
+            _info, sst_keys = reader.read_sst_keys(entry)
+            bytes_read += min(
+                HEADER_SIZE + key_block_size(entry.count), entry.length
+            )
+            scanned += len(sst_keys)
+            mask = range_mask(sst_keys, lo, hi)
+            if mask.any():
+                key_runs.append(sst_keys[mask])
+        else:
+            batch = reader.read_sst(entry)
+            bytes_read += entry.length
+            scanned += len(batch)
+            mask = range_mask(batch.keys, lo, hi)
+            if mask.any():
+                runs.append(batch.select(mask))
+    return LogProbeResult(
+        bytes_read=bytes_read,
+        scanned=scanned,
+        requests=len(entries),
+        runs=runs,
+        key_runs=key_runs,
+    )
+
+
+# ------------------------------------------------------------- compaction
+
+def read_epoch_log(state: dict[str, Any], path: str, epoch: int) -> RecordBatch | None:
+    """Load one log's records for ``epoch`` (compactor read fan-out).
+
+    Entries are concatenated in manifest order, matching the serial
+    ``read_epoch`` loop; returns ``None`` when the log holds nothing
+    for the epoch.
+    """
+    with LogReader(Path(path)) as reader:
+        batches = [reader.read_sst(e) for e in reader.entries_for(epoch=epoch)]
+    if not batches:
+        return None
+    return RecordBatch.concat(batches)
+
+
+def compact_epoch_task(
+    state: dict[str, Any],
+    in_dir: str,
+    out_dir: str,
+    epoch: int,
+    sst_records: int,
+) -> str:
+    """Compact one whole epoch (the ``compact_all_epochs`` fan-out unit).
+
+    Each epoch writes into its own output directory, so concurrent
+    epochs never touch the same file.  The inner compaction runs
+    serially — the parallelism here is across epochs.
+    """
+    # imported lazily: the compactor module itself takes executor=
+    # keywords from repro.exec, so a top-level import would be circular
+    from repro.exec.api import SERIAL_EXEC
+    from repro.storage.compactor import compact_epoch
+
+    # force the inner compaction serial: CARP_EXECUTOR=process would
+    # otherwise try to nest a pool inside a daemonic worker
+    return str(
+        compact_epoch(
+            Path(in_dir), Path(out_dir), epoch, sst_records,
+            executor=SERIAL_EXEC,
+        )
+    )

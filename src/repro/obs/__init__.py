@@ -37,6 +37,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+    snapshot_delta,
 )
 from repro.obs.tracer import (
     ChromeTracer,
@@ -55,6 +56,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullMetricsRegistry",
+    "snapshot_delta",
     "ChromeTracer",
     "NullTracer",
     "Tracer",
@@ -149,6 +151,21 @@ class Obs:
     def null(cls) -> "Obs":
         """The shared zero-overhead stack (see :data:`NULL_OBS`)."""
         return NULL_OBS
+
+    @classmethod
+    def deltas(cls) -> "Obs":
+        """A worker-side stack: live metrics, frozen clock, no tracer.
+
+        The one sanctioned observability stack inside executor worker
+        tasks (lint rule P602 bans ``Obs.recording()`` there): metric
+        instruments record normally into a private registry whose
+        :func:`~repro.obs.metrics.snapshot_delta` the worker ships back
+        as plain data for the driver to merge in shard order.  The
+        clock stays frozen and no trace events are emitted because
+        worker-side spans could not be replayed into the driver's
+        virtual timeline deterministically.
+        """
+        return cls(NullClock(), MetricsRegistry(), NullTracer())
 
     def track(self, process: str, thread: str = "main") -> Track:
         """Shorthand for ``obs.tracer.track(...)``."""

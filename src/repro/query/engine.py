@@ -20,6 +20,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.records import RecordBatch, range_mask
+from repro.exec.api import Executor
+from repro.exec.factory import resolve_executor
+from repro.exec.work import LogProbeResult, probe_log
 from repro.obs import NULL_OBS, Obs
 from repro.sim.iomodel import IOModel
 from repro.storage.log import LogReader, list_logs
@@ -78,10 +81,13 @@ class PartitionedStore:
         io: IOModel | None = None,
         recover: bool = False,
         obs: Obs | None = None,
+        executor: Executor | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.io = io or IOModel()
         self.obs = obs if obs is not None else NULL_OBS
+        self._executor, self._exec_owned = resolve_executor(executor)
+        self._recover = recover
         self._tr_query = self.obs.track("query", "client")
         metrics = self.obs.metrics
         self._m_probe_bytes = metrics.counter("query.probe_bytes")
@@ -92,8 +98,11 @@ class PartitionedStore:
         paths = list_logs(self.directory)
         if not paths:
             raise FileNotFoundError(f"no KoiDB logs under {self.directory}")
+        self._paths = paths
         self._readers = [LogReader(p, recover=recover) for p in paths]
-        # (reader index, entry) pairs across all logs
+        # (reader index, entry) pairs across all logs, grouped by
+        # reader index — the per-log query fan-out relies on this
+        # grouping to reassemble runs in the serial candidate order
         self._entries: list[tuple[int, ManifestEntry]] = []
         for i, r in enumerate(self._readers):
             for e in r.entries:
@@ -102,6 +111,8 @@ class PartitionedStore:
     def close(self) -> None:
         for r in self._readers:
             r.close()
+        if self._exec_owned:
+            self._executor.close()
 
     def __enter__(self) -> "PartitionedStore":
         return self
@@ -161,8 +172,30 @@ class PartitionedStore:
         scanned = 0
         runs: list[RecordBatch] = []
         key_runs: list[np.ndarray] = []
-        spans: list[tuple[float, float, int]] = []
-        for reader_idx, entry in candidates:
+        spans = [(e.kmin, e.kmax, e.length) for _, e in candidates]
+        inline_candidates = candidates
+        if not self._executor.is_serial and candidates:
+            # fan per-log probes across the shard workers; draining in
+            # submission order (== reader-index order, the order the
+            # grouped candidate list walks logs) makes the concatenated
+            # runs identical to the serial loop's
+            by_reader: dict[int, list[ManifestEntry]] = {}
+            for reader_idx, entry in candidates:
+                by_reader.setdefault(reader_idx, []).append(entry)
+            for reader_idx, log_entries in by_reader.items():
+                self._executor.submit(
+                    reader_idx, probe_log, str(self._paths[reader_idx]),
+                    self._recover, log_entries, lo, hi, keys_only,
+                )
+            for probe in self._executor.drain():
+                assert isinstance(probe, LogProbeResult)
+                bytes_read += probe.bytes_read
+                scanned += probe.scanned
+                requests += probe.requests
+                runs.extend(probe.runs)
+                key_runs.extend(probe.key_runs)
+            inline_candidates = []  # consumed by the fan-out
+        for reader_idx, entry in inline_candidates:
             reader = self._readers[reader_idx]
             if keys_only:
                 from repro.storage.blocks import key_block_size
@@ -184,7 +217,6 @@ class PartitionedStore:
                 if mask.any():
                     runs.append(batch.select(mask))
             requests += 1
-            spans.append((entry.kmin, entry.kmax, entry.length))
 
         merge_bytes = _overlapping_run_bytes(spans)
         if keys_only:

@@ -18,6 +18,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.exec.api import Executor
 from repro.query.engine import PartitionedStore, QueryResult
 from repro.query.metrics import selectivity_profile
 from repro.sim.iomodel import IOModel
@@ -66,13 +67,39 @@ class BatchResult:
 
 
 class RangeReader:
-    """Query client over a partitioned (CARP or sorted) store."""
+    """Query client over a partitioned (CARP or sorted) store.
 
-    def __init__(self, directory: Path | str, io: IOModel | None = None) -> None:
-        self.store = PartitionedStore(directory, io=io)
+    Pass either ``directory`` (the reader opens its own
+    :class:`PartitionedStore`) or ``store=`` to wrap one the caller
+    already holds — wrapping shares the open log handles and parsed
+    manifests instead of duplicating them per client, and leaves the
+    store's lifetime with its owner (``close`` is then a no-op).
+    """
+
+    def __init__(
+        self,
+        directory: Path | str | None = None,
+        io: IOModel | None = None,
+        store: PartitionedStore | None = None,
+        executor: Executor | None = None,
+    ) -> None:
+        if (directory is None) == (store is None):
+            raise ValueError("pass exactly one of directory= or store=")
+        if store is not None:
+            if io is not None or executor is not None:
+                raise ValueError(
+                    "io=/executor= belong to the wrapped store's owner"
+                )
+            self.store = store
+            self._owns_store = False
+        else:
+            assert directory is not None
+            self.store = PartitionedStore(directory, io=io, executor=executor)
+            self._owns_store = True
 
     def close(self) -> None:
-        self.store.close()
+        if self._owns_store:
+            self.store.close()
 
     def __enter__(self) -> "RangeReader":
         return self

@@ -14,19 +14,46 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.records import RecordBatch
+from repro.exec.api import Executor
+from repro.exec.factory import resolve_executor
 from repro.storage.log import LogReader, LogWriter, list_logs, log_name
 
 
-def read_epoch(directory: Path | str, epoch: int) -> RecordBatch:
-    """Load every record of ``epoch`` from all logs in ``directory``."""
+def read_epoch(
+    directory: Path | str,
+    epoch: int,
+    executor: Executor | None = None,
+) -> RecordBatch:
+    """Load every record of ``epoch`` from all logs in ``directory``.
+
+    With a parallel executor the per-log reads fan out across workers;
+    results are concatenated in log order either way, so the combined
+    batch is byte-identical.
+    """
     logs = list_logs(directory)
     if not logs:
         raise FileNotFoundError(f"no KoiDB logs under {directory}")
-    batches: list[RecordBatch] = []
-    for path in logs:
-        with LogReader(path) as reader:
-            for entry in reader.entries_for(epoch=epoch):
-                batches.append(reader.read_sst(entry))
+    exec_, owned = resolve_executor(executor)
+    try:
+        if not exec_.is_serial:
+            # repro.exec.work imports this module's callers' layer
+            # (repro.storage.koidb), so importing it at module scope
+            # would cycle through the package __init__
+            from repro.exec.work import read_epoch_log
+
+            per_log = exec_.map(
+                read_epoch_log, [(str(p), epoch) for p in logs]
+            )
+            batches = [b for b in per_log if b is not None]
+        else:
+            batches = []
+            for path in logs:
+                with LogReader(path) as reader:
+                    for entry in reader.entries_for(epoch=epoch):
+                        batches.append(reader.read_sst(entry))
+    finally:
+        if owned:
+            exec_.close()
     if not batches:
         raise ValueError(f"epoch {epoch} holds no data under {directory}")
     return RecordBatch.concat(batches)
@@ -37,6 +64,7 @@ def compact_epoch(
     out_dir: Path | str,
     epoch: int,
     sst_records: int = 4096,
+    executor: Executor | None = None,
 ) -> Path:
     """Produce a fully sorted clustered index for one epoch.
 
@@ -47,7 +75,12 @@ def compact_epoch(
     """
     if sst_records < 1:
         raise ValueError("sst_records must be >= 1")
-    all_records = read_epoch(in_dir, epoch).sorted_by_key()
+    exec_, owned = resolve_executor(executor)
+    try:
+        all_records = read_epoch(in_dir, epoch, executor=exec_).sorted_by_key()
+    finally:
+        if owned:
+            exec_.close()
     epoch_dir = Path(out_dir) / str(epoch)
     epoch_dir.mkdir(parents=True, exist_ok=True)
     with LogWriter(epoch_dir / log_name(0)) as writer:
@@ -61,12 +94,17 @@ def compact_epoch(
 
 
 def compact_all_epochs(
-    in_dir: Path | str, out_dir: Path | str, sst_records: int = 4096
+    in_dir: Path | str,
+    out_dir: Path | str,
+    sst_records: int = 4096,
+    executor: Executor | None = None,
 ) -> list[Path]:
     """Compact every epoch present in the input logs.
 
-    Returns the per-epoch output directories, sorted by epoch — the
-    directory structure matches the paper artifact's
+    With a parallel executor whole epochs compact concurrently (each
+    epoch writes its own output directory, so workers never share a
+    file).  Returns the per-epoch output directories, sorted by epoch —
+    the directory structure matches the paper artifact's
     ``particle.sorted/<epoch>/`` layout.
     """
     logs = list_logs(in_dir)
@@ -76,10 +114,24 @@ def compact_all_epochs(
     for path in logs:
         with LogReader(path) as reader:
             epochs.update(e.epoch for e in reader.entries)
-    return [
-        compact_epoch(in_dir, out_dir, epoch, sst_records)
-        for epoch in sorted(epochs)
-    ]
+    exec_, owned = resolve_executor(executor)
+    try:
+        if not exec_.is_serial:
+            from repro.exec.work import compact_epoch_task
+
+            done = exec_.map(
+                compact_epoch_task,
+                [(str(in_dir), str(out_dir), epoch, sst_records)
+                 for epoch in sorted(epochs)],
+            )
+            return [Path(d) for d in done]
+        return [
+            compact_epoch(in_dir, out_dir, epoch, sst_records)
+            for epoch in sorted(epochs)
+        ]
+    finally:
+        if owned:
+            exec_.close()
 
 
 def sorted_sst_boundaries(epoch_dir: Path | str) -> np.ndarray:

@@ -81,8 +81,11 @@ class KoiDB:
         self._m_stray_ssts = metrics.counter("koidb.stray_ssts_written")
         self._m_bytes = metrics.counter("koidb.bytes_written")
         self._m_flushes = metrics.counter("koidb.memtable_flushes")
+        # per-rank name: ranks may flush on different workers under a
+        # parallel executor, and a shared histogram would make the
+        # merged snapshot depend on cross-rank observe order
         self._m_fill = metrics.histogram(
-            "koidb.memtable_fill_at_flush", (0.25, 0.5, 0.75, 0.9, 1.0)
+            f"koidb.memtable_fill_at_flush.r{rank}", (0.25, 0.5, 0.75, 0.9, 1.0)
         )
         self._g_occupancy = metrics.gauge(
             f"koidb.memtable_occupancy.r{rank}"

@@ -16,6 +16,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.exec.factory import add_executor_args, executor_from_args
 from repro.storage.compactor import compact_all_epochs, compact_epoch
 
 
@@ -34,21 +35,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compact every epoch present in the input")
     p.add_argument("--sst-records", type=int, default=4096,
                    help="records per output SSTable (default: 4096)")
+    add_executor_args(p)
     return p
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    executor, exec_owned = executor_from_args(args)
     try:
         if args.all:
             dirs = compact_all_epochs(args.input, args.output,
-                                      sst_records=args.sst_records)
+                                      sst_records=args.sst_records,
+                                      executor=executor)
         else:
             dirs = [compact_epoch(args.input, args.output, args.epoch,
-                                  sst_records=args.sst_records)]
+                                  sst_records=args.sst_records,
+                                  executor=executor)]
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if exec_owned:
+            executor.close()
     for d in dirs:
         print(f"sorted epoch written to {d}")
     return 0

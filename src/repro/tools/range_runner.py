@@ -21,6 +21,7 @@ from pathlib import Path
 from repro.core.carp import CarpRun
 from repro.core.config import CarpOptions
 from repro.core.records import RecordBatch
+from repro.exec.factory import add_executor_args, executor_from_args
 from repro.traces import io as trace_io
 
 
@@ -52,6 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="payload bytes per record (default: 8)")
     p.add_argument("--timesteps", type=int, nargs="*", default=None,
                    help="subset of trace timesteps to replay (default: all)")
+    add_executor_args(p)
     return p
 
 
@@ -92,21 +94,26 @@ def main(argv: list[str] | None = None) -> int:
         separate_strays=not args.no_stray_separation,
         value_size=args.value_size,
     )
-    with CarpRun(args.ranks, args.output, options) as run:
-        for epoch, ts in enumerate(timesteps):
-            streams = trace_io.read_timestep(
-                args.input, ts, value_size=args.value_size,
-                seq_offset=epoch * (1 << 24),
-            )
-            streams = reshard(streams, args.ranks)
-            stats = run.ingest_epoch(epoch, streams)
-            print(
-                f"epoch {epoch} (T.{ts}): {stats.records} records, "
-                f"{stats.renegotiations} renegotiations, "
-                f"normalized load std-dev {stats.load_stddev:.4f}, "
-                f"strays {stats.stray_fraction:.2%}"
-            )
-        manifest = run.write_run_manifest()
+    executor, exec_owned = executor_from_args(args)
+    try:
+        with CarpRun(args.ranks, args.output, options, executor=executor) as run:
+            for epoch, ts in enumerate(timesteps):
+                streams = trace_io.read_timestep(
+                    args.input, ts, value_size=args.value_size,
+                    seq_offset=epoch * (1 << 24),
+                )
+                streams = reshard(streams, args.ranks)
+                stats = run.ingest_epoch(epoch, streams)
+                print(
+                    f"epoch {epoch} (T.{ts}): {stats.records} records, "
+                    f"{stats.renegotiations} renegotiations, "
+                    f"normalized load std-dev {stats.load_stddev:.4f}, "
+                    f"strays {stats.stray_fraction:.2%}"
+                )
+            manifest = run.write_run_manifest()
+    finally:
+        if exec_owned:
+            executor.close()
     print(f"partitioned output written to {args.output}")
     print(f"run manifest written to {manifest}")
     return 0

@@ -22,6 +22,7 @@ def test_clean_repo_exits_zero(repo_src, capsys):
         "bad_hygiene.py",
         "bad_typing.py",
         "bad_obs.py",
+        "bad_exec.py",
     ],
 )
 def test_each_bad_fixture_exits_nonzero(fixtures_dir, fixture, capsys):

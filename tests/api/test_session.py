@@ -1,0 +1,132 @@
+"""The :class:`repro.api.Session` facade: wiring, views, lifecycle."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro.core.carp import CarpRun
+from repro.core.config import CarpOptions
+from repro.exec import SERIAL_EXEC, ThreadExecutor
+from repro.query.engine import PartitionedStore
+from repro.traces.vpic import VpicTraceSpec, generate_timestep
+
+OPTIONS = CarpOptions(
+    pivot_count=32,
+    oob_capacity=32,
+    renegotiations_per_epoch=3,
+    memtable_records=256,
+    round_records=128,
+    value_size=8,
+)
+
+SPEC = VpicTraceSpec(nranks=4, particles_per_rank=500, value_size=8, seed=3)
+
+
+def _streams(epoch: int):
+    return generate_timestep(SPEC, epoch)
+
+
+def test_session_matches_manual_wiring(tmp_path):
+    manual_dir = tmp_path / "manual"
+    with CarpRun(SPEC.nranks, manual_dir, OPTIONS) as run:
+        run.ingest_epoch(0, _streams(0))
+    with PartitionedStore(manual_dir) as store:
+        expect = store.query(0, 0.5, 2.0)
+
+    with Session(SPEC.nranks, tmp_path / "facade", OPTIONS) as session:
+        session.ingest_epoch(0, _streams(0))
+        got = session.query(0, 0.5, 2.0)
+
+    assert np.array_equal(got.keys, expect.keys)
+    assert np.array_equal(got.rids, expect.rids)
+    assert got.cost == expect.cost
+
+
+def test_store_view_is_cached_until_next_ingest(tmp_path):
+    with Session(SPEC.nranks, tmp_path, OPTIONS) as session:
+        session.ingest_epoch(0, _streams(0))
+        first = session.store()
+        assert session.store() is first
+        session.ingest_epoch(1, _streams(1))
+        second = session.store()
+        assert second is not first
+        # the fresh view sees both epochs
+        assert list(second.epochs()) == [0, 1]
+
+
+def test_reader_wraps_session_store(tmp_path):
+    with Session(SPEC.nranks, tmp_path, OPTIONS) as session:
+        session.ingest_epoch(0, _streams(0))
+        reader = session.reader()
+        # one set of file handles: the reader wraps the session's store
+        assert reader.store is session.store()
+        assert not reader._owns_store
+        assert reader.analyze(epoch=0).total_records > 0
+
+
+def test_views_share_session_executor(tmp_path):
+    executor = ThreadExecutor(2)
+    try:
+        with Session(
+            SPEC.nranks, tmp_path, OPTIONS, executor=executor
+        ) as session:
+            assert session.executor is executor
+            session.ingest_epoch(0, _streams(0))
+            assert session.store()._executor is executor
+        # caller-injected executor survives session close
+        assert executor.map(lambda s: 1, []) == []  # still usable
+    finally:
+        executor.close()
+
+
+def test_session_owns_env_created_executor(tmp_path, monkeypatch):
+    monkeypatch.setenv("CARP_EXECUTOR", "thread")
+    monkeypatch.setenv("CARP_WORKERS", "2")
+    session = Session(SPEC.nranks, tmp_path, OPTIONS)
+    assert isinstance(session.executor, ThreadExecutor)
+    session.ingest_epoch(0, _streams(0))
+    assert len(session.query(0, -10.0, 10.0)) > 0
+    session.close()
+    with pytest.raises(Exception):
+        session.executor.submit(0, print)
+
+
+def test_default_session_is_serial_and_unrecorded(tmp_path, monkeypatch):
+    monkeypatch.delenv("CARP_EXECUTOR", raising=False)
+    with Session(SPEC.nranks, tmp_path, OPTIONS) as session:
+        assert session.executor is SERIAL_EXEC
+        assert not session.obs.enabled
+
+
+def test_record_builds_metrics_stack(tmp_path):
+    with Session(SPEC.nranks, tmp_path, OPTIONS, record=True) as session:
+        assert session.obs.enabled
+        session.ingest_epoch(0, _streams(0))
+        target = session.write_metrics()
+    assert target == tmp_path / "metrics.json"
+    payload = json.loads(target.read_text())
+    assert payload["counters"]  # ingest actually recorded something
+
+
+def test_closed_session_refuses_views(tmp_path):
+    session = Session(SPEC.nranks, tmp_path, OPTIONS)
+    session.ingest_epoch(0, _streams(0))
+    session.close()
+    session.close()  # idempotent
+    with pytest.raises(RuntimeError, match="closed"):
+        session.store()
+
+
+def test_session_close_releases_log_handles(tmp_path):
+    session = Session(SPEC.nranks, tmp_path, OPTIONS)
+    session.ingest_epoch(0, _streams(0))
+    store = session.store()
+    session.close()
+    # the attached view was closed with the session
+    assert session._store is None
+    with pytest.raises(Exception):
+        store.query(0, 0.0, 1.0)

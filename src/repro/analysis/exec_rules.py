@@ -20,10 +20,12 @@ P601
 P602
     Recording observability construction (``Obs.recording()``,
     ``VirtualClock()``, ``ChromeTracer()``) in ``repro.exec``.  A
-    worker-side virtual clock or tracer cannot be replayed into the
-    driver's timeline deterministically — worker tasks record into the
-    metrics-only ``Obs.deltas()`` stack and return plain counter
-    deltas that the driver merges in shard order.
+    worker must not own a driver-style recording stack: its timeline is
+    *rank-local*, so worker tasks record into the ``Obs.deltas()``
+    stack (a fresh virtual clock plus a ``BufferingTracer``) and return
+    plain counter deltas and span records that the driver merges in
+    shard order — that is what keeps ``metrics.json`` and
+    ``trace.json`` bit-identical across executor backends.
 """
 
 from __future__ import annotations

@@ -14,17 +14,29 @@ O501
     the observability stack itself.  D101 flags known wall-clock call
     sites; O501 closes the gap by banning the modules outright in
     instrumentation scope, so new ``time`` APIs cannot sneak in.  The
-    only sanctioned home for ``time.perf_counter`` is ``repro.tools``
-    (report CLIs), which is outside this scope.
+    sanctioned homes for ``time.perf_counter`` are ``repro.tools``
+    (report CLIs) and ``repro.perf`` (the benchmark harness, whose
+    wall-clock rows are advisory and never feed back into virtual
+    time) — both outside this scope.
 O502
     Recording-instrumentation construction (``VirtualClock()``,
-    ``ChromeTracer()``, ``MetricsRegistry()``, ``Obs(...)`` /
-    ``Obs.recording()``) inside the data plane.  Instrumentation is
-    *injected* by the driver; data-plane modules accepting an
-    ``obs`` parameter must default to the shared ``NULL_OBS`` constant,
-    not build their own recording stack — otherwise a library import
-    silently starts accumulating events and runs stop being
-    zero-overhead when observability is off.
+    ``ChromeTracer()``, ``BufferingTracer()``, ``MetricsRegistry()``,
+    ``Obs(...)`` / ``Obs.recording()``) inside the data plane.
+    Instrumentation is *injected* by the driver; data-plane modules
+    accepting an ``obs`` parameter must default to the shared
+    ``NULL_OBS`` constant, not build their own recording stack —
+    otherwise a library import silently starts accumulating events and
+    runs stop being zero-overhead when observability is off.
+    ``Obs.deltas()`` is the sanctioned exception: it is how a driver
+    hands each shard its rank-local recording stack.
+O503
+    Dynamic span/metric names — an f-string, string concatenation, or
+    ``str.format`` where an instrumentation call expects a name.  Names
+    must be static string literals so the metric namespace stays
+    greppable and its cardinality bounded at the call site.  Sanctioned
+    bounded-cardinality exceptions (per-rank instrument names, whose
+    cardinality is fixed by the run topology) carry a per-file
+    ``# carp-lint: disable=O503`` with a rationale comment.
 """
 
 from __future__ import annotations
@@ -61,6 +73,8 @@ RECORDING_CONSTRUCTORS = frozenset(
         "repro.obs.clock.VirtualClock",
         "repro.obs.ChromeTracer",
         "repro.obs.tracer.ChromeTracer",
+        "repro.obs.BufferingTracer",
+        "repro.obs.buffer.BufferingTracer",
         "repro.obs.MetricsRegistry",
         "repro.obs.metrics.MetricsRegistry",
         "repro.obs.Obs",
@@ -150,7 +164,100 @@ class InjectedInstrumentationRule(Rule):
         return out
 
 
+#: Packages whose instrument names must be static (``repro.obs`` is
+#: excluded: the tracer/buffer plumbing forwards names it did not
+#: originate, e.g. ``ChromeTracer.merge_events`` replaying records).
+OBS_NAME_SCOPE = (
+    "repro.core",
+    "repro.shuffle",
+    "repro.storage",
+    "repro.sim",
+    "repro.exec",
+    "repro.query",
+)
+
+#: Method names whose *name* argument follows the track argument
+#: (``tracer.begin(track, name, ts)``, ``obs.span(track, name, ...)``).
+_NAME_AT_1 = frozenset({"begin", "complete", "instant", "span"})
+
+#: Method names whose *name* argument comes first
+#: (``metrics.gauge(name)``, ``metrics.histogram(name, bounds)``).
+_NAME_AT_0 = frozenset({"gauge", "histogram"})
+
+
+def _dynamic_name(node: ast.expr) -> str | None:
+    """Why a name expression is dynamic, or ``None`` if it is not.
+
+    Only flags constructions that *assemble* a string at the call site
+    — a plain variable may well hold a static literal bound elsewhere,
+    and flagging it would force noisy inline names.
+    """
+    if isinstance(node, ast.JoinedStr):
+        return "f-string"
+    if isinstance(node, ast.BinOp):
+        return "string concatenation"
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "format"):
+        return "str.format()"
+    return None
+
+
+class StaticInstrumentNameRule(Rule):
+    id = "O503"
+    name = "static-instrument-names"
+    description = (
+        "span/metric name assembled dynamically at the call site — "
+        "instrument names must be static string literals"
+    )
+    scope = OBS_NAME_SCOPE
+
+    def _name_arg(self, node: ast.Call, method: str) -> ast.expr | None:
+        for kw in node.keywords:
+            if kw.arg == "name":
+                return kw.value
+        if method in _NAME_AT_1:
+            idx = 1
+        elif method in _NAME_AT_0:
+            idx = 0
+        elif method == "counter":
+            # tracer.counter(track, name, ts, values) vs
+            # metrics.counter(name): arity disambiguates
+            idx = 1 if len(node.args) >= 3 else 0
+        else:
+            return None
+        return node.args[idx] if len(node.args) > idx else None
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            method = func.attr
+            if method not in _NAME_AT_1 | _NAME_AT_0 | {"counter"}:
+                continue
+            name_arg = self._name_arg(node, method)
+            if name_arg is None:
+                continue
+            why = _dynamic_name(name_arg)
+            if why is not None:
+                out.append(
+                    self.violation(
+                        ctx, name_arg,
+                        f"{method}() name built with {why} — use a static "
+                        "string literal so the instrument namespace stays "
+                        "greppable and bounded (per-rank names may suppress "
+                        "with a rationale comment)",
+                    )
+                )
+        return out
+
+
 OBS_RULES: tuple[Rule, ...] = (
     WallClockModuleRule(),
     InjectedInstrumentationRule(),
+    StaticInstrumentNameRule(),
 )

@@ -37,6 +37,7 @@ from repro.exec.api import Executor
 from repro.exec.factory import resolve_executor
 from repro.obs import NULL_OBS, Obs
 from repro.query.engine import PartitionedStore, QueryResult
+from repro.query.explain import QueryExplain
 from repro.query.reader import RangeReader
 from repro.sim.iomodel import IOModel
 
@@ -119,6 +120,16 @@ class Session:
     ) -> QueryResult:
         """Range query against the session's output."""
         return self.store().query(epoch, lo, hi, keys_only=keys_only)
+
+    def explain(
+        self, epoch: int, lo: float, hi: float, keys_only: bool = False
+    ) -> QueryExplain:
+        """Plan + cost report for a range query (no merge executed).
+
+        See :meth:`repro.query.engine.PartitionedStore.explain`; the
+        report reconciles exactly against :attr:`QueryResult.cost`.
+        """
+        return self.store().explain(epoch, lo, hi, keys_only=keys_only)
 
     # ---------------------------------------------------------- plumbing
 

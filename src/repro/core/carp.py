@@ -131,6 +131,11 @@ class CarpRun:
         self._tr_shuffle = self.obs.track("shuffle", "fabric")
         self._tr_reneg = self.obs.track("renegotiate", "driver")
         self._tr_epoch = self.obs.track("epoch", "driver")
+        # flush-track layout is driver-owned for *both* execution paths:
+        # KoiDB instances record onto rank-local buffering tracers (see
+        # below), so they never declare driver tracks themselves
+        for r in range(self.nreceivers):
+            self.obs.track("flush", f"rank {r}")
         metrics = self.obs.metrics
         self._m_records = metrics.counter("carp.records_ingested")
         self._m_shuffled = metrics.counter("carp.records_shuffled")
@@ -152,11 +157,23 @@ class CarpRun:
         self.koidbs: list[KoiDB] | list[KoiDBProxy]
         if self._executor.is_serial:
             self._shards: KoiDBShardClient | None = None
+            # each KoiDB records onto its own rank-local timeline (clock
+            # at zero, buffering tracer) — exactly the stack a shard
+            # worker would use — while sharing the driver's metrics
+            # registry; :meth:`_sync_storage_trace` merges the buffered
+            # spans at the same barrier points a parallel run uses, so
+            # trace.json is identical on every backend
+            self._rank_obs: list[Obs] = [
+                Obs.deltas(metrics=self.obs.metrics)
+                if self._obs_on else NULL_OBS
+                for _ in range(self.nreceivers)
+            ]
             self.koidbs = [
-                KoiDB(r, self.out_dir, self.options, obs=self.obs)
+                KoiDB(r, self.out_dir, self.options, obs=self._rank_obs[r])
                 for r in range(self.nreceivers)
             ]
         else:
+            self._rank_obs = []
             self._shards = KoiDBShardClient(
                 self._executor, self.out_dir, self.options,
                 self.nreceivers, obs=self.obs,
@@ -178,8 +195,23 @@ class CarpRun:
         else:
             for db in self.koidbs:
                 db.close()
+            self._sync_storage_trace()
         if self._exec_owned:
             self._executor.close()
+
+    def _sync_storage_trace(self) -> None:
+        """Merge serial rank-local KoiDB spans into the driver trace.
+
+        The serial twin of :meth:`KoiDBShardClient.barrier`'s span
+        merge: drains each rank's buffering tracer in ascending rank
+        order at the same points a parallel run barriers, so the
+        driver-side event sequence (and hence the written trace.json)
+        is bit-identical across executors.
+        """
+        for rank_obs in self._rank_obs:
+            records = rank_obs.tracer.drain()
+            if records:
+                self.obs.tracer.merge_events(records)
 
     def __enter__(self) -> "CarpRun":
         return self
@@ -309,7 +341,10 @@ class CarpRun:
         self._epoch_stats = stats
         self._round_idx = 0
         obs = self.obs
-        # a crashed epoch leaves this span open, marking the crash point
+        # a crashed epoch leaves this span open, marking the crash
+        # point.  The per-epoch span name is bounded by the epoch
+        # count, the sanctioned exception to static instrument names.
+        # carp-lint: disable=O503
         obs.tracer.begin(
             self._tr_epoch, f"epoch {epoch}", obs.clock.now(),
             {"epoch": epoch, "records": total_records},
@@ -376,9 +411,12 @@ class CarpRun:
             db.finish_epoch()
         if self._shards is not None:
             # the barrier replays outstanding command streams on the
-            # shard workers and syncs proxy stats/offsets/metrics, so
-            # the reads below see the finished epoch
+            # shard workers and syncs proxy stats/offsets/metrics (and
+            # merges worker spans), so the reads below see the finished
+            # epoch
             self._shards.barrier()
+        else:
+            self._sync_storage_trace()
 
         stats.partition_loads = np.array(
             [db.stats.records_in - before for db, before in zip(self.koidbs, records_before)],

@@ -154,6 +154,10 @@ def negotiate_trp(
             dur = max(max_fanin, 1) * MESSAGE_TICK
             t0 = obs.clock.now()
             obs.clock.advance(dur)
+            # per-level span name, bounded by the tree depth
+            # (log_fanin(nranks)) — the sanctioned exception to static
+            # instrument names.
+            # carp-lint: disable=O503
             obs.tracer.complete(
                 tr_trp, f"level {level}", t0, dur,
                 {"level": level, "groups": len(groups), "senders": senders,

@@ -26,7 +26,7 @@ from repro.core.config import CarpOptions
 from repro.core.records import RecordBatch
 from repro.exec.api import Executor
 from repro.exec.work import KoiDBApplyResult, KoiDBCommand, koidb_apply
-from repro.obs import NULL_OBS, Obs
+from repro.obs import NULL_OBS, Obs, SpanRecord
 from repro.storage.koidb import KoiDBStats
 
 
@@ -90,12 +90,6 @@ class KoiDBShardClient:
         self._options = options
         self._obs = obs if obs is not None else NULL_OBS
         self._record_obs = self._obs.enabled
-        # declare the per-rank flush tracks exactly as serial KoiDB
-        # constructors would: track *layout* is driver-owned even
-        # though worker-side flush spans are not replayed (trace
-        # events are outside the determinism contract)
-        for r in range(nreceivers):
-            self._obs.track("flush", f"rank {r}")
         self.proxies = [KoiDBProxy(r, self) for r in range(nreceivers)]
         self._buffers: list[list[KoiDBCommand]] = [[] for _ in range(nreceivers)]
         self._buffered_records = [0] * nreceivers
@@ -140,17 +134,28 @@ class KoiDBShardClient:
         Worker metric deltas are merged into the driver registry in
         submission order (rank-major, deterministic); per-rank stats
         and log offsets replace the proxies' copies with the workers'
-        newest cumulative values.
+        newest cumulative values.  Worker span records (rank-local
+        virtual timelines) are regrouped per rank and replayed into the
+        driver tracer in ascending rank order — the same order
+        ``CarpRun._sync_storage_trace`` uses serially — so the merged
+        trace is bit-identical across backends.
         """
         for rank in range(len(self.proxies)):
             self._submit(rank)
         results = self._executor.drain()
+        spans: dict[int, list[SpanRecord]] = {}
         for result in results:
             assert isinstance(result, KoiDBApplyResult)
             proxy = self.proxies[result.rank]
             proxy.stats = result.stats
             proxy.log.offset = result.log_offset
             self._obs.metrics.merge_worker_delta(result.metrics)
+            if result.spans:
+                # drain() preserves submission order per rank, so each
+                # rank's records stay in emission order
+                spans.setdefault(result.rank, []).extend(result.spans)
+        for rank in sorted(spans):
+            self._obs.tracer.merge_events(spans[rank])
 
     def close_rank(self, rank: int) -> None:
         """Close one rank's worker-held KoiDB (idempotent)."""

@@ -3,10 +3,11 @@
 Everything here follows the executor task contract
 (:mod:`repro.exec.api`): plain top-level functions taking the sticky
 per-shard ``state`` mapping first, deriving their output only from
-``state`` and arguments (rule P601), and recording metrics — when asked
-to — into a private ``Obs.deltas()`` stack whose snapshot delta is
-returned as plain data (rule P602).  Task functions must stay at module
-level so :class:`~repro.exec.pools.ProcessExecutor` can pickle them by
+``state`` and arguments (rule P601), and recording metrics and spans —
+when asked to — into a private ``Obs.deltas()`` stack whose snapshot
+delta and drained span records are returned as plain data (rule P602).
+Task functions must stay at module level so
+:class:`~repro.exec.pools.ProcessExecutor` can pickle them by
 reference.
 
 The ingest task is a *command replay*: ``CarpRun`` routing never
@@ -26,7 +27,7 @@ import numpy as np
 
 from repro.core.config import CarpOptions
 from repro.core.records import RecordBatch, range_mask
-from repro.obs import NULL_OBS, Obs, snapshot_delta
+from repro.obs import NULL_OBS, Obs, SpanRecord, snapshot_delta
 from repro.storage.koidb import KoiDB, KoiDBStats
 from repro.storage.log import LogReader
 from repro.storage.manifest import ManifestEntry
@@ -47,6 +48,10 @@ class KoiDBApplyResult:
     stats: KoiDBStats
     log_offset: int
     metrics: dict[str, object]
+    #: span records drained from the rank-local buffering tracer since
+    #: the previous call (rank-local virtual timestamps; see
+    #: :class:`repro.obs.buffer.BufferingTracer`)
+    spans: list[SpanRecord]
 
 
 def koidb_apply(
@@ -63,7 +68,8 @@ def koidb_apply(
     the rank log exactly as a serial ``CarpRun`` construction would);
     subsequent calls reuse it, so the log grows as one contiguous
     append stream.  Returns a copy of the cumulative ``KoiDBStats``,
-    the log offset, and the metrics recorded since the previous call.
+    the log offset, and the metrics and trace spans recorded since the
+    previous call (the spans on the rank's local virtual timeline).
     """
     db: KoiDB | None = state.get("koidb")
     if db is None:
@@ -107,6 +113,7 @@ def koidb_apply(
         stats=dataclasses.replace(db.stats),
         log_offset=db.log.offset,
         metrics=delta,
+        spans=obs.tracer.drain(),
     )
 
 
@@ -122,6 +129,18 @@ class LogProbeResult:
     runs: list[RecordBatch]
     key_runs: list[np.ndarray]
 
+    @property
+    def matched(self) -> int:
+        """Records that survived the range filter in this log.
+
+        The per-log share of ``QueryCost.records_matched``: the merged
+        result concatenates every log's runs, so the per-log counts sum
+        exactly to the query total (the reconciliation ``carp-explain``
+        relies on).
+        """
+        return (sum(len(r) for r in self.runs)
+                + sum(len(k) for k in self.key_runs))
+
 
 def _cached_reader(state: dict[str, Any], path: str, recover: bool) -> LogReader:
     readers: dict[tuple[str, bool], LogReader] = state.setdefault("readers", {})
@@ -133,10 +152,8 @@ def _cached_reader(state: dict[str, Any], path: str, recover: bool) -> LogReader
     return reader
 
 
-def probe_log(
-    state: dict[str, Any],
-    path: str,
-    recover: bool,
+def probe_entries(
+    reader: LogReader,
     entries: list[ManifestEntry],
     lo: float,
     hi: float,
@@ -144,16 +161,15 @@ def probe_log(
 ) -> LogProbeResult:
     """Read and range-filter one log's candidate SSTs for a query.
 
-    Mirrors the per-entry loop of ``PartitionedStore.query`` exactly —
-    same read sizes, same masks, same run order — so the driver can
-    concatenate per-log results (in reader-index order) and land on the
-    identical merged ``QueryResult``.  Log readers are cached in shard
-    state keyed by ``(path, recover)``.
+    The single per-entry probe loop both query paths execute: the
+    serial engine calls it inline per reader, and :func:`probe_log`
+    wraps it for the shard-worker fan-out — same read sizes, same
+    masks, same run order, so concatenating per-log results (in
+    reader-index order) lands on the identical merged ``QueryResult``.
     """
     from repro.storage.blocks import key_block_size
     from repro.storage.sstable import HEADER_SIZE
 
-    reader = _cached_reader(state, path, recover)
     bytes_read = 0
     scanned = 0
     runs: list[RecordBatch] = []
@@ -181,6 +197,24 @@ def probe_log(
         requests=len(entries),
         runs=runs,
         key_runs=key_runs,
+    )
+
+
+def probe_log(
+    state: dict[str, Any],
+    path: str,
+    recover: bool,
+    entries: list[ManifestEntry],
+    lo: float,
+    hi: float,
+    keys_only: bool,
+) -> LogProbeResult:
+    """Worker task wrapping :func:`probe_entries` for one log.
+
+    Log readers are cached in shard state keyed by ``(path, recover)``.
+    """
+    return probe_entries(
+        _cached_reader(state, path, recover), entries, lo, hi, keys_only
     )
 
 

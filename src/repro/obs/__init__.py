@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from types import TracebackType
 
+from repro.obs.buffer import BufferingTracer
 from repro.obs.clock import Clock, NullClock, VirtualClock
 from repro.obs.metrics import (
     Counter,
@@ -42,6 +43,7 @@ from repro.obs.metrics import (
 from repro.obs.tracer import (
     ChromeTracer,
     NullTracer,
+    SpanRecord,
     Tracer,
     Track,
     validate_trace_events,
@@ -57,8 +59,10 @@ __all__ = [
     "MetricsRegistry",
     "NullMetricsRegistry",
     "snapshot_delta",
+    "BufferingTracer",
     "ChromeTracer",
     "NullTracer",
+    "SpanRecord",
     "Tracer",
     "Track",
     "validate_trace_events",
@@ -153,19 +157,26 @@ class Obs:
         return NULL_OBS
 
     @classmethod
-    def deltas(cls) -> "Obs":
-        """A worker-side stack: live metrics, frozen clock, no tracer.
+    def deltas(cls, metrics: MetricsRegistry | None = None) -> "Obs":
+        """A rank-local stack: live metrics, fresh clock, buffering tracer.
 
         The one sanctioned observability stack inside executor worker
-        tasks (lint rule P602 bans ``Obs.recording()`` there): metric
-        instruments record normally into a private registry whose
+        tasks (lint rule P602 bans ``Obs.recording()`` there), and the
+        stack ``CarpRun`` hands each serial KoiDB so both paths record
+        identically.  Metric instruments record into ``metrics`` when
+        given (the serial case shares the driver's registry) or into a
+        private registry whose
         :func:`~repro.obs.metrics.snapshot_delta` the worker ships back
-        as plain data for the driver to merge in shard order.  The
-        clock stays frozen and no trace events are emitted because
-        worker-side spans could not be replayed into the driver's
-        virtual timeline deterministically.
+        for the driver to merge in shard order.  Spans land in a
+        :class:`~repro.obs.buffer.BufferingTracer` on a *rank-local*
+        virtual timeline starting at zero; the driver drains and merges
+        them in rank order at barrier points, which keeps trace.json
+        bit-identical across Serial/Thread/Process executors (the
+        per-rank command stream is the same on every backend).
         """
-        return cls(NullClock(), MetricsRegistry(), NullTracer())
+        return cls(VirtualClock(),
+                   metrics if metrics is not None else MetricsRegistry(),
+                   BufferingTracer())
 
     def track(self, process: str, thread: str = "main") -> Track:
         """Shorthand for ``obs.tracer.track(...)``."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import bisect
 import json
+import math
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 
@@ -92,7 +93,34 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Bucket-upper-bound approximation of the ``q``-quantile.
+
+        Walks the cumulative bucket counts and returns the inclusive
+        upper edge of the bucket containing the ``q``-th sample — an
+        *upper bound* on the true quantile, exact to bucket resolution
+        (the standard trade-off of bounded histograms).  A quantile
+        landing in the overflow bucket reports the observed ``max``;
+        ``None`` when the histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        # the smallest 1-based sample index at or above quantile q
+        target = max(1, math.ceil(self.count * q))
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            cumulative += n
+            if cumulative >= target:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.max  # overflow bucket: only max bounds it
+        return self.max
+
     def to_dict(self) -> dict[str, object]:
+        # p50/p95/p99 are bucket-upper-bound approximations (see
+        # quantile()); min/max/mean are exact
         return {
             "bounds": list(self.bounds),
             "counts": list(self.counts),
@@ -101,6 +129,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -10,6 +10,8 @@ and introduces no import cycle with the instrumented packages.
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 from repro.bench.tables import fmt_bytes, fmt_pct, render_table
 
 
@@ -114,11 +116,118 @@ def metrics_table(snapshot: dict[str, object]) -> str:
     if isinstance(histograms, dict):
         for name, h in sorted(histograms.items()):
             if isinstance(h, dict):
-                rows.append([
-                    "histogram", name,
-                    f"n={h.get('count')} mean={float(h.get('mean', 0.0)):.2f}",
-                ])
+                summary = f"n={h.get('count')} mean={float(h.get('mean', 0.0)):.2f}"
+                quantiles = " ".join(
+                    f"{q}<={float(v):.2f}"
+                    for q in ("p50", "p95", "p99")
+                    if isinstance(v := h.get(q), (int, float))
+                )
+                if quantiles:
+                    # bucket-upper-bound approximations (Histogram.quantile)
+                    summary += f" {quantiles}"
+                hmax = h.get("max")
+                if isinstance(hmax, (int, float)):
+                    summary += f" max={float(hmax):.2f}"
+                rows.append(["histogram", name, summary])
     return render_table(["kind", "metric", "value"], rows)
+
+
+class _ClosedSpan(NamedTuple):
+    """A resolved span interval, ready to rank by duration."""
+
+    track: str
+    lane: str
+    name: str
+    ts: float
+    dur: float
+    args: dict[str, object]
+
+
+def _closed_spans(
+    events: list[dict[str, object]], n: int
+) -> list[_ClosedSpan]:
+    """The ``n`` longest closed spans per track type, longest first."""
+    pid_names: dict[object, str] = {}
+    lane_names: dict[tuple[object, object], str] = {}
+    spans: dict[str, list[_ClosedSpan]] = {}
+    stacks: dict[tuple[object, object], list[dict[str, object]]] = {}
+
+    def push(pid: object, tid: object, name: object, ts: float, dur: float,
+             args: object) -> None:
+        track = pid_names.get(pid, f"pid {pid}")
+        spans.setdefault(track, []).append(_ClosedSpan(
+            track=track,
+            lane=lane_names.get((pid, tid), f"tid {tid}"),
+            name=str(name),
+            ts=ts,
+            dur=dur,
+            args=dict(args) if isinstance(args, dict) else {},
+        ))
+
+    for event in events:
+        ph = event.get("ph")
+        pid, tid = event.get("pid"), event.get("tid")
+        if ph == "M":
+            args = event.get("args")
+            if isinstance(args, dict):
+                if event.get("name") == "process_name":
+                    pid_names[pid] = str(args.get("name"))
+                elif event.get("name") == "thread_name":
+                    lane_names[(pid, tid)] = str(args.get("name"))
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            continue
+        key = (pid, tid)
+        if ph == "X":
+            dur = event.get("dur")
+            if isinstance(dur, (int, float)):
+                push(pid, tid, event.get("name"), float(ts), float(dur),
+                     event.get("args"))
+        elif ph == "B":
+            stacks.setdefault(key, []).append(event)
+        elif ph == "E":
+            stack = stacks.get(key)
+            if stack:
+                begin = stack.pop()
+                t0 = begin.get("ts")
+                if isinstance(t0, (int, float)):
+                    push(pid, tid, begin.get("name"), float(t0),
+                         float(ts) - float(t0), begin.get("args"))
+    out: list[_ClosedSpan] = []
+    for track in sorted(spans):
+        ranked = sorted(spans[track], key=lambda s: (-s.dur, s.ts, s.name))
+        out.extend(ranked[:n])
+    return out
+
+
+def top_spans(
+    events: list[dict[str, object]], n: int
+) -> list[dict[str, object]]:
+    """The ``n`` longest spans per track type, longest first.
+
+    Resolves ``X`` durations and ``B``/``E`` intervals (per-track
+    stack) into closed spans, then keeps each track type's top ``n``
+    by duration.  Returned dicts carry ``track`` (type name), ``lane``
+    (thread name), ``name``, ``ts``, ``dur``, and the begin event's
+    ``args`` for attribution — what ``carp-trace --top`` prints so
+    slow phases are visible without opening Perfetto.
+    """
+    return [s._asdict() for s in _closed_spans(events, n)]
+
+
+def top_spans_table(events: list[dict[str, object]], n: int) -> str:
+    """Render :func:`top_spans` as an aligned table."""
+    rows = []
+    for s in _closed_spans(events, n):
+        attribution = " ".join(f"{k}={v}" for k, v in s.args.items())
+        rows.append([
+            s.track, s.lane, s.name, f"{s.ts:.2f}", f"{s.dur:.3f}",
+            attribution,
+        ])
+    return render_table(
+        ["track", "lane", "span", "ts", "dur (ticks)", "attribution"], rows
+    )
 
 
 def render_report(run_doc: dict[str, object], snapshot: dict[str, object],

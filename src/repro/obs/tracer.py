@@ -24,10 +24,17 @@ viewers require, and backs the golden-file test in ``tests/obs``.
 from __future__ import annotations
 
 import json
+from collections.abc import Mapping, Sequence
 from pathlib import Path
 
 #: Track handle: a (pid, tid) pair as assigned by :meth:`Tracer.track`.
 Track = tuple[int, int]
+
+#: A buffered trace event as plain data: the portable form worker-side
+#: tracers (:class:`repro.obs.buffer.BufferingTracer`) ship back to the
+#: driver.  Tracks are carried by *name* (``process``/``thread``), not by
+#: pid/tid, because id assignment is owned by the merging tracer.
+SpanRecord = dict[str, object]
 
 #: Event phases this tracer emits (plus "M" metadata internally).
 _PHASES = frozenset({"B", "E", "X", "i", "I", "C", "M"})
@@ -70,6 +77,25 @@ class Tracer:
     def events(self) -> list[dict[str, object]]:
         """All recorded events in render order."""
         return []
+
+    def drain(self) -> list[SpanRecord]:
+        """Buffered span records since the last drain (buffering tracers).
+
+        The base tracer buffers nothing; only
+        :class:`repro.obs.buffer.BufferingTracer` returns records here.
+        """
+        return []
+
+    def merge_events(self, records: Sequence[Mapping[str, object]]) -> None:
+        """Replay drained :data:`SpanRecord` data into this tracer.
+
+        The no-op base drops them (disabled observability); the
+        recording tracer resolves each record's named track and re-emits
+        the event, which is how worker-side spans land in the driver's
+        trace.  Callers merge in rank order so the result is
+        deterministic regardless of execution interleaving.
+        """
+        return None
 
     def to_doc(self) -> dict[str, object]:
         """The complete Chrome trace-event JSON document."""
@@ -182,6 +208,49 @@ class ChromeTracer(Tracer):
         event = self._event("C", track, name, ts,
                             {k: float(v) for k, v in values.items()})
         self._push(event, 1, ts)
+
+    # ------------------------------------------------------------ merging
+
+    def merge_events(self, records: Sequence[Mapping[str, object]]) -> None:
+        for rec in records:
+            process, thread = rec.get("process"), rec.get("thread")
+            if not isinstance(process, str) or not isinstance(thread, str):
+                raise ValueError(f"span record without a named track: {rec!r}")
+            track = self.track(process, thread)
+            ph = rec.get("ph")
+            name = rec.get("name")
+            ts = rec.get("ts")
+            if not isinstance(ts, (int, float)):
+                raise ValueError(f"span record without a numeric ts: {rec!r}")
+            raw_args = rec.get("args")
+            args: dict[str, object] | None = (
+                dict(raw_args) if isinstance(raw_args, Mapping) else None
+            )
+            if ph == "E":
+                self.end(track, float(ts), args)
+                continue
+            if not isinstance(name, str):
+                raise ValueError(f"span record without a name: {rec!r}")
+            if ph == "X":
+                dur = rec.get("dur")
+                if not isinstance(dur, (int, float)):
+                    raise ValueError(f"'X' record without a duration: {rec!r}")
+                self.complete(track, name, float(ts), float(dur), args)
+            elif ph == "B":
+                self.begin(track, name, float(ts), args)
+            elif ph == "i":
+                self.instant(track, name, float(ts), args)
+            elif ph == "C":
+                values = rec.get("values")
+                if not isinstance(values, Mapping):
+                    raise ValueError(f"'C' record without values: {rec!r}")
+                self.counter(
+                    track, name, float(ts),
+                    {str(k): float(v) for k, v in values.items()  # type: ignore[arg-type]
+                     if isinstance(v, (int, float))},
+                )
+            else:
+                raise ValueError(f"span record with unknown phase {ph!r}")
 
     # ------------------------------------------------------------ export
 

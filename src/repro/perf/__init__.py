@@ -1,0 +1,47 @@
+"""``repro.perf`` — baseline-gated performance observability.
+
+The benchmark layer that turns the observability stack (``repro.obs``)
+and the executor seam (``repro.exec``) into a *regression-proof
+trajectory*: deterministic workload specs (ingest / query / compact ×
+executor backend) are run under a recording stack, summarized into a
+small set of metrics, persisted as committed baselines
+(``results/baselines/<workload>.json``, written through
+:func:`repro.bench.results.emit` with units and the git SHA), and
+re-checked by ``carp-perf compare`` on every CI run.
+
+Metrics come in three kinds with different gating semantics:
+
+* ``virtual`` — modeled/virtual-time cost (deterministic given the
+  code).  Blocking: a relative regression beyond the metric's
+  tolerance fails the comparison.
+* ``exact`` — workload outputs that must not drift at all (bytes
+  written, records matched).  Blocking: any change fails.
+* ``wall`` — host wall-clock seconds.  Advisory only: reported, never
+  failed, because runner noise is not a regression.  This package is
+  (with the CLI tools) a sanctioned home for ``time.perf_counter``;
+  wall time never feeds back into any recording (rule O501 keeps it
+  out of the instrumented packages).
+"""
+
+from repro.perf.harness import (
+    Metric,
+    MetricComparison,
+    WorkloadComparison,
+    compare_workload,
+    load_baseline,
+    run_workload,
+    write_baseline,
+)
+from repro.perf.workloads import WORKLOADS, WorkloadSpec
+
+__all__ = [
+    "Metric",
+    "MetricComparison",
+    "WorkloadComparison",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "compare_workload",
+    "load_baseline",
+    "run_workload",
+    "write_baseline",
+]

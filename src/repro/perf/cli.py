@@ -1,0 +1,163 @@
+"""``carp-perf`` — run perf workloads and gate on committed baselines.
+
+Three subcommands:
+
+* ``carp-perf list`` — the registered workloads.
+* ``carp-perf run [WORKLOAD ...]`` — run workloads and (re)write their
+  baselines under ``results/baselines/`` (set ``REPRO_RESULTS_DIR`` to
+  redirect).
+* ``carp-perf compare [WORKLOAD ...] [--json PATH]`` — re-run and diff
+  against the committed baselines; exits nonzero when any blocking
+  metric (virtual-time beyond tolerance, or an exact output change)
+  regressed.  Wall-time rows are advisory and never fail the gate.
+  ``--json`` additionally writes the full comparison document (the CI
+  artifact).
+
+    carp-perf run
+    carp-perf compare --json results/perf_compare.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.tables import render_table
+from repro.perf.harness import (
+    WorkloadComparison,
+    compare_workload,
+    load_baseline,
+    run_workload,
+    write_baseline,
+)
+from repro.perf.workloads import WORKLOADS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="carp-perf",
+        description="Baseline-gated performance benchmarks for CARP.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered workloads")
+
+    runp = sub.add_parser("run", help="run workloads and write baselines")
+    runp.add_argument("workloads", nargs="*", metavar="WORKLOAD",
+                      help="workload names (default: all)")
+
+    cmpp = sub.add_parser(
+        "compare", help="re-run workloads and diff against baselines"
+    )
+    cmpp.add_argument("workloads", nargs="*", metavar="WORKLOAD",
+                      help="workload names (default: all)")
+    cmpp.add_argument("--json", type=Path, default=None,
+                      help="also write the comparison document to PATH")
+    return p
+
+
+def _select(names: list[str]) -> list[str]:
+    if not names:
+        return list(WORKLOADS)
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        raise KeyError(
+            f"unknown workload(s) {unknown}; have {sorted(WORKLOADS)}"
+        )
+    return names
+
+
+def _cmd_list() -> int:
+    print(render_table(
+        ("workload", "kind", "backend", "ranks", "records/rank", "epochs"),
+        [
+            (s.name, s.kind, s.backend, s.nranks,
+             s.records_per_rank, s.epochs)
+            for s in WORKLOADS.values()
+        ],
+        title="carp-perf workloads",
+    ))
+    return 0
+
+
+def _cmd_run(names: list[str]) -> int:
+    for name in names:
+        spec = WORKLOADS[name]
+        metrics = run_workload(spec)
+        path = write_baseline(spec, metrics)
+        print(f"wrote {path}")
+        print()
+    return 0
+
+
+def _fmt_delta(comparison: WorkloadComparison) -> str:
+    rows = []
+    for m in comparison.metrics:
+        delta = m.rel_delta
+        rows.append((
+            m.metric, m.kind,
+            "-" if m.baseline is None else f"{m.baseline:.6g}",
+            "-" if m.current is None else f"{m.current:.6g}",
+            "-" if delta is None else f"{delta:+.2%}",
+            m.status + (" (advisory)" if m.kind == "wall" else ""),
+        ))
+    return render_table(
+        ("metric", "kind", "baseline", "current", "delta", "status"),
+        rows,
+        title=f"carp-perf compare: {comparison.workload}",
+    )
+
+
+def _cmd_compare(names: list[str], json_path: Path | None) -> int:
+    comparisons: list[WorkloadComparison] = []
+    missing: list[str] = []
+    for name in names:
+        baseline = load_baseline(name)
+        if baseline is None:
+            missing.append(name)
+            continue
+        comparison = compare_workload(WORKLOADS[name], baseline)
+        comparisons.append(comparison)
+        print(_fmt_delta(comparison))
+        print()
+    blocking = any(c.blocking for c in comparisons)
+    doc = {
+        "blocking": blocking or bool(missing),
+        "missing_baselines": missing,
+        "workloads": [c.to_dict() for c in comparisons],
+    }
+    if json_path is not None:
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"comparison document: {json_path}")
+    for name in missing:
+        print(f"error: no baseline for {name} (run `carp-perf run {name}`)",
+              file=sys.stderr)
+    if blocking:
+        failed = [
+            f"{c.workload}.{m.metric} ({m.status})"
+            for c in comparisons for m in c.metrics if m.blocking
+        ]
+        print(f"error: perf regression gate failed: {', '.join(failed)}",
+              file=sys.stderr)
+    return 1 if (blocking or missing) else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    try:
+        names = _select(list(args.workloads))
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.command == "run":
+        return _cmd_run(names)
+    return _cmd_compare(names, args.json)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

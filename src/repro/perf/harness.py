@@ -1,0 +1,343 @@
+"""Run perf workloads, persist baselines, and gate on regressions.
+
+:func:`run_workload` executes one :class:`WorkloadSpec` in a scratch
+directory under a recording observability stack and summarizes it into
+:class:`Metric` values.  :func:`write_baseline` persists them through
+:func:`repro.bench.results.emit` (rows + units + git SHA) into
+``results/baselines/<name>.json``; :func:`compare_workload` re-runs
+the workload and diffs fresh metrics against the committed baseline
+with per-metric semantics:
+
+* ``virtual``/``exact`` metrics are **blocking** — virtual-time cost
+  may drift at most ``tolerance`` (relative) before the comparison
+  fails, exact workload outputs may not change at all;
+* ``wall`` metrics are **advisory** — reported for trend visibility,
+  never failed, because CI runner noise is not a regression.
+
+An improvement beyond tolerance does not fail the gate but is
+surfaced, so stale baselines get re-recorded instead of silently
+absorbing headroom.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Any
+
+from repro.bench.results import emit, results_dir
+from repro.bench.tables import render_table
+from repro.core.carp import CarpRun
+from repro.obs import Obs
+from repro.perf.workloads import WorkloadSpec
+from repro.query.engine import PartitionedStore
+from repro.storage.compactor import compact_all_epochs
+from repro.storage.log import list_logs
+from repro.traces.vpic import VpicTraceSpec, generate_timestep
+
+#: Default relative tolerance for virtual-time metrics.  Virtual cost
+#: is deterministic, so any drift is a real code change; 2% headroom
+#: lets benign cost-model tweaks through while a 10% regression fails
+#: loudly.
+VIRTUAL_TOLERANCE = 0.02
+
+#: Advisory tolerance recorded for wall-clock rows (display only).
+WALL_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One measured value of a workload run."""
+
+    name: str
+    value: float
+    unit: str
+    #: ``virtual`` | ``exact`` | ``wall`` (see module docstring)
+    kind: str
+    tolerance: float
+
+    def to_row(self) -> dict[str, Any]:
+        return {
+            "metric": self.name,
+            "value": self.value,
+            "unit": self.unit,
+            "kind": self.kind,
+            "tolerance": self.tolerance,
+        }
+
+
+# ---------------------------------------------------------------- running
+
+
+def _trace_spec(spec: WorkloadSpec) -> VpicTraceSpec:
+    return VpicTraceSpec(
+        nranks=spec.nranks,
+        particles_per_rank=spec.records_per_rank,
+        value_size=8,
+        seed=spec.seed,
+    )
+
+
+def _ingest(spec: WorkloadSpec, out_dir: Path, obs: Obs) -> None:
+    trace = _trace_spec(spec)
+    with spec.make_executor() as executor:
+        with CarpRun(spec.nranks, out_dir, spec.options(), obs=obs,
+                     executor=executor) as run:
+            for epoch in range(spec.epochs):
+                run.ingest_epoch(epoch, generate_timestep(trace, epoch))
+
+
+def _run_ingest(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
+    obs = Obs.recording()
+    wall0 = time.perf_counter()
+    _ingest(spec, scratch / "db", obs)
+    wall = time.perf_counter() - wall0
+    counters = obs.metrics
+    return [
+        Metric("ingest_virtual_ticks", obs.clock.now(), "ticks",
+               "virtual", VIRTUAL_TOLERANCE),
+        Metric("records_ingested",
+               counters.counter_value("carp.records_ingested"),
+               "records", "exact", 0.0),
+        Metric("koidb_bytes_written",
+               counters.counter_value("koidb.bytes_written"),
+               "B", "exact", 0.0),
+        Metric("ssts_written",
+               counters.counter_value("koidb.ssts_written"),
+               "ssts", "exact", 0.0),
+        Metric("wall_seconds", wall, "s", "wall", WALL_TOLERANCE),
+    ]
+
+
+def _run_query(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
+    db_dir = scratch / "db"
+    _ingest(spec, db_dir, Obs.null())
+    latency = 0.0
+    bytes_read = 0
+    matched = 0
+    requests = 0
+    wall0 = time.perf_counter()
+    with spec.make_executor() as executor:
+        with PartitionedStore(db_dir, executor=executor) as store:
+            for epoch in store.epochs():
+                lo, hi = store.key_range(epoch)
+                width = (hi - lo) / max(spec.queries * 4, 1)
+                for q in range(spec.queries):
+                    qlo = lo + (hi - lo) * q / max(spec.queries, 1)
+                    res = store.query(epoch, qlo, qlo + width)
+                    latency += res.cost.latency
+                    bytes_read += res.cost.bytes_read
+                    matched += res.cost.records_matched
+                    requests += res.cost.read_requests
+    wall = time.perf_counter() - wall0
+    return [
+        Metric("query_latency_modeled", latency, "s",
+               "virtual", VIRTUAL_TOLERANCE),
+        Metric("query_bytes_read", bytes_read, "B", "exact", 0.0),
+        Metric("query_records_matched", matched, "records", "exact", 0.0),
+        Metric("query_read_requests", requests, "requests", "exact", 0.0),
+        Metric("wall_seconds", wall, "s", "wall", WALL_TOLERANCE),
+    ]
+
+
+def _run_compact(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
+    src = scratch / "db"
+    dst = scratch / "compacted"
+    _ingest(spec, src, Obs.null())
+    wall0 = time.perf_counter()
+    with spec.make_executor() as executor:
+        epoch_dirs = compact_all_epochs(src, dst, spec.sst_records,
+                                        executor=executor)
+    wall = time.perf_counter() - wall0
+    out_bytes = sum(
+        p.stat().st_size for d in epoch_dirs for p in list_logs(d)
+    )
+    # modeled full-scan latency over the compacted layout: the number
+    # compaction exists to improve, and a deterministic virtual gate
+    scan_latency = 0.0
+    for directory in epoch_dirs:
+        with PartitionedStore(directory) as store:
+            for epoch in store.epochs():
+                scan_latency += store.scan(epoch).cost.latency
+    return [
+        Metric("compacted_scan_latency_modeled", scan_latency, "s",
+               "virtual", VIRTUAL_TOLERANCE),
+        Metric("compacted_bytes", out_bytes, "B", "exact", 0.0),
+        Metric("epochs_compacted", len(epoch_dirs), "epochs", "exact", 0.0),
+        Metric("wall_seconds", wall, "s", "wall", WALL_TOLERANCE),
+    ]
+
+
+_RUNNERS = {
+    "ingest": _run_ingest,
+    "query": _run_query,
+    "compact": _run_compact,
+}
+
+
+def run_workload(spec: WorkloadSpec) -> list[Metric]:
+    """Execute one workload in a scratch directory; return its metrics."""
+    runner = _RUNNERS.get(spec.kind)
+    if runner is None:
+        raise ValueError(f"unknown workload kind {spec.kind!r}")
+    with TemporaryDirectory(prefix=f"carp-perf-{spec.name}-") as tmp:
+        return runner(spec, Path(tmp))
+
+
+# --------------------------------------------------------------- baselines
+
+
+def baseline_dir() -> Path:
+    path = results_dir() / "baselines"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def baseline_path(name: str) -> Path:
+    return baseline_dir() / f"{name}.json"
+
+
+def write_baseline(spec: WorkloadSpec, metrics: list[Metric]) -> Path:
+    """Persist a workload's metrics as its committed baseline."""
+    baseline_dir()  # ensure results/baselines/ exists before emit()
+    text = render_table(
+        ("metric", "value", "unit", "kind", "tolerance"),
+        [(m.name, f"{m.value:.9g}", m.unit, m.kind, m.tolerance)
+         for m in metrics],
+        title=f"carp-perf baseline: {spec.name}",
+    )
+    emit(
+        f"baselines/{spec.name}",
+        text,
+        rows=[m.to_row() for m in metrics],
+        units={m.name: m.unit for m in metrics},
+    )
+    return baseline_path(spec.name)
+
+
+def load_baseline(name: str) -> dict[str, Any] | None:
+    """The committed baseline document for a workload, if present."""
+    path = baseline_path(name)
+    if not path.is_file():
+        return None
+    doc = json.loads(path.read_text())
+    assert isinstance(doc, dict)
+    return doc
+
+
+# -------------------------------------------------------------- comparing
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's baseline-vs-current verdict."""
+
+    metric: str
+    kind: str
+    unit: str
+    baseline: float | None
+    current: float | None
+    tolerance: float
+    #: ``ok`` | ``regressed`` | ``improved`` | ``changed`` | ``missing``
+    status: str
+
+    @property
+    def blocking(self) -> bool:
+        return self.status in ("regressed", "changed", "missing")
+
+    @property
+    def rel_delta(self) -> float | None:
+        if self.baseline in (None, 0) or self.current is None:
+            return None
+        assert self.baseline is not None
+        return (self.current - self.baseline) / self.baseline
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "kind": self.kind,
+            "unit": self.unit,
+            "baseline": self.baseline,
+            "current": self.current,
+            "tolerance": self.tolerance,
+            "rel_delta": self.rel_delta,
+            "status": self.status,
+            "blocking": self.blocking,
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadComparison:
+    """A whole workload's comparison against its baseline."""
+
+    workload: str
+    baseline_sha: str | None
+    metrics: tuple[MetricComparison, ...]
+
+    @property
+    def blocking(self) -> bool:
+        return any(m.blocking for m in self.metrics)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "baseline_sha": self.baseline_sha,
+            "blocking": self.blocking,
+            "metrics": [m.to_dict() for m in self.metrics],
+        }
+
+
+def _compare_metric(row: dict[str, Any], current: Metric | None) -> MetricComparison:
+    name = str(row["metric"])
+    kind = str(row.get("kind", "virtual"))
+    unit = str(row.get("unit", ""))
+    base = float(row["value"])
+    tol = float(row.get("tolerance", VIRTUAL_TOLERANCE))
+    if current is None:
+        return MetricComparison(name, kind, unit, base, None, tol, "missing")
+    value = current.value
+    if kind == "wall":
+        status = "ok"  # advisory: never blocks
+    elif kind == "exact":
+        status = "ok" if value == base else "changed"
+    else:  # virtual
+        if base == 0:
+            status = "ok" if value == 0 else "changed"
+        else:
+            rel = (value - base) / base
+            if rel > tol:
+                status = "regressed"
+            elif rel < -tol:
+                status = "improved"
+            else:
+                status = "ok"
+    return MetricComparison(name, kind, unit, base, value, tol, status)
+
+
+def compare_workload(
+    spec: WorkloadSpec, baseline: dict[str, Any]
+) -> WorkloadComparison:
+    """Re-run one workload and diff it against its baseline document."""
+    fresh = {m.name: m for m in run_workload(spec)}
+    rows = baseline.get("rows", [])
+    assert isinstance(rows, list)
+    comparisons = [
+        _compare_metric(row, fresh.get(str(row["metric"]))) for row in rows
+    ]
+    seen = {str(row["metric"]) for row in rows}
+    for name, metric in fresh.items():
+        if name not in seen:
+            # a new metric has no baseline; surface it without blocking
+            comparisons.append(MetricComparison(
+                name, metric.kind, metric.unit, None, metric.value,
+                metric.tolerance, "ok",
+            ))
+    sha = baseline.get("git_sha")
+    return WorkloadComparison(
+        workload=spec.name,
+        baseline_sha=str(sha) if isinstance(sha, str) else None,
+        metrics=tuple(comparisons),
+    )

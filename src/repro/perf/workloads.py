@@ -1,0 +1,77 @@
+"""Deterministic workload specs for the carp-perf harness.
+
+Each :class:`WorkloadSpec` pins everything that influences the
+measured numbers: the workload kind (ingest / query / compact), the
+executor backend, the synthetic-trace seed and sizes.  The registry
+spans kind × backend so the committed baselines answer the question
+PR 3 left open — which backend is faster, on what workload — and so a
+regression in any one backend's seam is caught by its own gate.
+
+Sizes are small on purpose (a CI perf job runs every workload on
+every push); the virtual-time metrics they gate are scale-free model
+outputs, so a small deterministic workload is just as sensitive to a
+cost-model or plumbing regression as a large one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import CarpOptions
+from repro.exec import Executor, ProcessExecutor, SerialExecutor, ThreadExecutor
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One deterministic benchmark workload."""
+
+    name: str
+    #: ``ingest`` | ``query`` | ``compact``
+    kind: str
+    #: ``serial`` | ``thread`` | ``process``
+    backend: str
+    nranks: int = 4
+    records_per_rank: int = 600
+    epochs: int = 2
+    workers: int = 2
+    seed: int = 11
+    #: range queries per epoch (query workloads)
+    queries: int = 4
+    #: records per compacted SST (compact workloads)
+    sst_records: int = 512
+
+    def options(self) -> CarpOptions:
+        return CarpOptions(
+            pivot_count=32,
+            oob_capacity=32,
+            renegotiations_per_epoch=3,
+            memtable_records=256,
+            round_records=128,
+            value_size=8,
+        )
+
+    def make_executor(self) -> Executor:
+        if self.backend == "serial":
+            return SerialExecutor()
+        if self.backend == "thread":
+            return ThreadExecutor(self.workers)
+        if self.backend == "process":
+            return ProcessExecutor(self.workers)
+        raise ValueError(f"unknown backend {self.backend!r}")
+
+
+def _registry() -> dict[str, WorkloadSpec]:
+    specs = [
+        WorkloadSpec("ingest-serial", "ingest", "serial"),
+        WorkloadSpec("ingest-thread", "ingest", "thread", workers=3),
+        WorkloadSpec("ingest-process", "ingest", "process"),
+        WorkloadSpec("query-serial", "query", "serial"),
+        WorkloadSpec("query-process", "query", "process"),
+        WorkloadSpec("compact-serial", "compact", "serial"),
+        WorkloadSpec("compact-process", "compact", "process"),
+    ]
+    return {s.name: s for s in specs}
+
+
+#: All registered workloads, by name.
+WORKLOADS: dict[str, WorkloadSpec] = _registry()

@@ -1,6 +1,7 @@
 """Query engine: range queries, the RangeReader client, quality metrics."""
 
 from repro.query.engine import PartitionedStore, QueryCost, QueryResult
+from repro.query.explain import LogExplain, QueryExplain
 from repro.query.metrics import (
     raf_percentiles,
     read_amplification_profile,
@@ -16,7 +17,8 @@ from repro.query.reader import (
 )
 
 __all__ = [
-    "PartitionedStore", "QueryCost", "QueryResult", "raf_percentiles",
+    "PartitionedStore", "QueryCost", "QueryResult",
+    "LogExplain", "QueryExplain", "raf_percentiles",
     "read_amplification_profile", "selectivity", "selectivity_profile",
     "BatchQuerySpec", "BatchResult", "RangeReader", "read_batch_csv",
     "write_batch_csv",

@@ -16,17 +16,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.records import RecordBatch, range_mask
+from repro.core.records import RecordBatch
 from repro.exec.api import Executor
 from repro.exec.factory import resolve_executor
-from repro.exec.work import LogProbeResult, probe_log
+from repro.exec.work import LogProbeResult, probe_entries, probe_log
 from repro.obs import NULL_OBS, Obs
 from repro.sim.iomodel import IOModel
 from repro.storage.log import LogReader, list_logs
 from repro.storage.manifest import ManifestEntry
+
+if TYPE_CHECKING:
+    from repro.query.explain import QueryExplain
 
 
 @dataclass(frozen=True)
@@ -166,57 +170,14 @@ class PartitionedStore:
             raise ValueError(f"empty query range [{lo}, {hi}]")
         candidates = self.overlapping_entries(epoch, lo, hi)
         considered = len(self.entries(epoch))
-
-        bytes_read = 0
-        requests = 0
-        scanned = 0
-        runs: list[RecordBatch] = []
-        key_runs: list[np.ndarray] = []
         spans = [(e.kmin, e.kmax, e.length) for _, e in candidates]
-        inline_candidates = candidates
-        if not self._executor.is_serial and candidates:
-            # fan per-log probes across the shard workers; draining in
-            # submission order (== reader-index order, the order the
-            # grouped candidate list walks logs) makes the concatenated
-            # runs identical to the serial loop's
-            by_reader: dict[int, list[ManifestEntry]] = {}
-            for reader_idx, entry in candidates:
-                by_reader.setdefault(reader_idx, []).append(entry)
-            for reader_idx, log_entries in by_reader.items():
-                self._executor.submit(
-                    reader_idx, probe_log, str(self._paths[reader_idx]),
-                    self._recover, log_entries, lo, hi, keys_only,
-                )
-            for probe in self._executor.drain():
-                assert isinstance(probe, LogProbeResult)
-                bytes_read += probe.bytes_read
-                scanned += probe.scanned
-                requests += probe.requests
-                runs.extend(probe.runs)
-                key_runs.extend(probe.key_runs)
-            inline_candidates = []  # consumed by the fan-out
-        for reader_idx, entry in inline_candidates:
-            reader = self._readers[reader_idx]
-            if keys_only:
-                from repro.storage.blocks import key_block_size
-                from repro.storage.sstable import HEADER_SIZE
 
-                _info, sst_keys = reader.read_sst_keys(entry)
-                bytes_read += min(
-                    HEADER_SIZE + key_block_size(entry.count), entry.length
-                )
-                scanned += len(sst_keys)
-                mask = range_mask(sst_keys, lo, hi)
-                if mask.any():
-                    key_runs.append(sst_keys[mask])
-            else:
-                batch = reader.read_sst(entry)
-                bytes_read += entry.length
-                scanned += len(batch)
-                mask = range_mask(batch.keys, lo, hi)
-                if mask.any():
-                    runs.append(batch.select(mask))
-            requests += 1
+        probes = self._probe(candidates, lo, hi, keys_only)
+        bytes_read = sum(p.bytes_read for _, p in probes)
+        requests = sum(p.requests for _, p in probes)
+        scanned = sum(p.scanned for _, p in probes)
+        runs = [r for _, p in probes for r in p.runs]
+        key_runs = [k for _, p in probes for k in p.key_runs]
 
         merge_bytes = _overlapping_run_bytes(spans)
         if keys_only:
@@ -243,9 +204,20 @@ class PartitionedStore:
             + self.io.scan_time(bytes_read),
         )
         if self.obs.enabled:
-            # one span per query; the modeled latency is the virtual duration
+            # one span per query; the modeled latency is the virtual
+            # duration, with one per-log "probe" breakdown span priced
+            # at that log's share of the modeled read time
             t0 = self.obs.clock.now()
             self.obs.clock.advance(cost.latency)
+            for reader_idx, probe in probes:
+                self.obs.tracer.complete(
+                    self.obs.track("query", self._paths[reader_idx].name),
+                    "probe", t0,
+                    self.io.read_time(probe.bytes_read, probe.requests),
+                    {"log": self._paths[reader_idx].name,
+                     "ssts": probe.requests, "bytes": probe.bytes_read,
+                     "scanned": probe.scanned, "matched": probe.matched},
+                )
             self.obs.tracer.complete(
                 self._tr_query, "query", t0, cost.latency,
                 {"epoch": epoch, "lo": lo, "hi": hi,
@@ -258,6 +230,107 @@ class PartitionedStore:
             self._m_matched.add(len(keys))
             self._m_io_bytes.add(bytes_read)
         return QueryResult(lo, hi, epoch, keys, rids, cost)
+
+    def _probe(
+        self,
+        candidates: list[tuple[int, ManifestEntry]],
+        lo: float,
+        hi: float,
+        keys_only: bool,
+    ) -> list[tuple[int, LogProbeResult]]:
+        """Probe the candidate SSTs, one result per log, in reader order.
+
+        Both execution paths run the same
+        :func:`~repro.exec.work.probe_entries` loop per log and return
+        results in reader-index order (the order the grouped candidate
+        list walks logs; the parallel drain preserves submission
+        order), so ``query`` and ``explain`` see identical per-log
+        measurements regardless of backend.
+        """
+        by_reader: dict[int, list[ManifestEntry]] = {}
+        for reader_idx, entry in candidates:
+            by_reader.setdefault(reader_idx, []).append(entry)
+        if self._executor.is_serial:
+            return [
+                (idx, probe_entries(self._readers[idx], entries,
+                                    lo, hi, keys_only))
+                for idx, entries in by_reader.items()
+            ]
+        for reader_idx, log_entries in by_reader.items():
+            self._executor.submit(
+                reader_idx, probe_log, str(self._paths[reader_idx]),
+                self._recover, log_entries, lo, hi, keys_only,
+            )
+        probes: list[tuple[int, LogProbeResult]] = []
+        for reader_idx, probe in zip(by_reader, self._executor.drain()):
+            assert isinstance(probe, LogProbeResult)
+            probes.append((reader_idx, probe))
+        return probes
+
+    def explain(
+        self, epoch: int, lo: float, hi: float, keys_only: bool = False
+    ) -> "QueryExplain":
+        """Plan + cost report for a range query, without running it.
+
+        Executes the *probe* stage for real (same manifests consulted,
+        same SSTs read and range-filtered, same byte/request counts)
+        but skips the final merge, and reports per-log attribution: for
+        every log holding epoch data, the SSTs considered vs. read,
+        bytes and requests, records scanned vs. matched, and the
+        modeled per-log read time.  The report's ``cost`` is computed
+        by the exact expressions :meth:`query` uses, so it reconciles
+        field-for-field with a real ``QueryResult.cost`` — that exact
+        reconciliation is enforced by ``carp-explain``.  No metrics or
+        spans are recorded: EXPLAIN is introspection, not workload.
+        """
+        from repro.query.explain import LogExplain, QueryExplain
+
+        if hi < lo:
+            raise ValueError(f"empty query range [{lo}, {hi}]")
+        all_entries = self.entries(epoch)
+        candidates = self.overlapping_entries(epoch, lo, hi)
+        spans = [(e.kmin, e.kmax, e.length) for _, e in candidates]
+        probes = dict(self._probe(candidates, lo, hi, keys_only))
+        by_reader_all: dict[int, list[ManifestEntry]] = {}
+        for reader_idx, entry in all_entries:
+            by_reader_all.setdefault(reader_idx, []).append(entry)
+        by_reader_cand: dict[int, list[ManifestEntry]] = {}
+        for reader_idx, entry in candidates:
+            by_reader_cand.setdefault(reader_idx, []).append(entry)
+        logs = []
+        for reader_idx in sorted(by_reader_all):
+            probe = probes.get(reader_idx)
+            logs.append(LogExplain(
+                log=self._paths[reader_idx].name,
+                ssts_considered=len(by_reader_all[reader_idx]),
+                ssts_read=len(by_reader_cand.get(reader_idx, [])),
+                bytes_read=probe.bytes_read if probe else 0,
+                read_requests=probe.requests if probe else 0,
+                records_scanned=probe.scanned if probe else 0,
+                records_matched=probe.matched if probe else 0,
+                read_time=(self.io.read_time(probe.bytes_read, probe.requests)
+                           if probe else 0.0),
+                entries=tuple(by_reader_cand.get(reader_idx, [])),
+            ))
+        bytes_read = sum(p.bytes_read for p in probes.values())
+        requests = sum(p.requests for p in probes.values())
+        merge_bytes = _overlapping_run_bytes(spans)
+        cost = QueryCost(
+            ssts_considered=len(all_entries),
+            ssts_read=len(candidates),
+            bytes_read=bytes_read,
+            read_requests=requests,
+            records_scanned=sum(p.scanned for p in probes.values()),
+            records_matched=sum(p.matched for p in probes.values()),
+            merge_bytes=merge_bytes,
+            read_time=self.io.read_time(bytes_read, requests),
+            merge_time=self.io.merge_time(merge_bytes)
+            + self.io.scan_time(bytes_read),
+        )
+        return QueryExplain(
+            directory=str(self.directory), epoch=epoch, lo=lo, hi=hi,
+            keys_only=keys_only, logs=tuple(logs), cost=cost,
+        )
 
     def scan(self, epoch: int) -> QueryResult:
         """Full scan of an epoch (the Fig. 7a "full scan" reference)."""

@@ -34,7 +34,7 @@ from repro.core.carp import CarpRun
 from repro.core.config import CarpOptions
 from repro.core.records import RecordBatch
 from repro.obs import Obs, validate_trace_events
-from repro.obs.report import render_report
+from repro.obs.report import render_report, top_spans_table
 from repro.query.engine import PartitionedStore
 from repro.traces.amr import AmrTraceSpec
 from repro.traces.amr import generate_timestep as amr_timestep
@@ -60,6 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", choices=("vpic", "amr"), default="vpic")
     p.add_argument("--queries", type=int, default=4,
                    help="instrumented range queries per epoch (default: 4)")
+    p.add_argument("--top", type=int, default=0, metavar="N",
+                   help="also print the N longest spans per track type, "
+                        "with their args for attribution (default: off)")
     return p
 
 
@@ -175,6 +178,10 @@ def main(argv: list[str] | None = None) -> int:
     events = trace_doc["traceEvents"]
     assert isinstance(events, list)
     print(render_report(run_doc, obs.metrics.snapshot(), events))
+    if args.top > 0:
+        print()
+        print(f"Top {args.top} spans per track type")
+        print(top_spans_table(events, args.top))
     print()
     print(f"trace:   {trace_path} ({len(events)} events, "
           f"{nqueries} queries traced)")

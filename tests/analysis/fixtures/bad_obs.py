@@ -29,7 +29,18 @@ def recording_classmethod():
     return Obs.recording()  # O502
 
 
+def dynamic_instrument_names(obs, rank):
+    obs.metrics.counter("koidb.bytes.r" + str(rank)).add(1)  # O503
+    obs.metrics.gauge(f"occupancy.r{rank}").set(0.5)  # O503
+    track = obs.track("flush", "rank 0")
+    obs.tracer.complete(track, "phase {}".format(rank), 0.0, 1.0)  # O503
+
+
 def injected_is_fine(obs):
     # accepting an injected stack must NOT be flagged
     obs.metrics.counter("ok").add(1)
+    # a static name and a variable holding one must NOT be flagged
+    name = "koidb.flushes"
+    obs.metrics.counter(name).add(1)
+    obs.tracer.instant(obs.track("flush", "rank 0"), "flush", 0.0)
     return obs.clock.now()

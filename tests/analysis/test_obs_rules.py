@@ -26,6 +26,8 @@ def test_fixture_triggers_every_o_rule(fixtures_dir):
     assert len(by_rule.get("O501", [])) == 4
     # VirtualClock, ChromeTracer, MetricsRegistry, Obs(...), Obs.recording()
     assert len(by_rule.get("O502", [])) == 5
+    # counter concat, gauge f-string, complete .format()
+    assert len(by_rule.get("O503", [])) == 3
 
 
 def test_wall_clock_import_flagged_in_obs_package():
@@ -84,6 +86,54 @@ def test_drivers_outside_scope_may_record():
     src = "from repro.obs import Obs\nobs = Obs.recording()\n"
     ctx = FileContext.from_source(src, Path("src/repro/tools/trace_cli.py"))
     assert not _rule("O502").applies(ctx)
+
+
+def test_dynamic_metric_name_flagged():
+    src = (
+        "def f(obs, rank):\n"
+        "    obs.metrics.counter(f'koidb.bytes.r{rank}').add(1)\n"
+    )
+    violations = _check("O503", src)
+    assert len(violations) == 1
+    assert "f-string" in violations[0].message
+
+
+def test_dynamic_span_name_flagged_at_tracer_position():
+    # tracer.complete carries the name in argument position 1
+    src = (
+        "def f(obs, track, level):\n"
+        "    obs.tracer.complete(track, 'lvl ' + str(level), 0.0, 1.0)\n"
+    )
+    assert len(_check("O503", src)) == 1
+
+
+def test_tracer_counter_arity_disambiguates():
+    # tracer.counter(track, name, ts, values): name is arg 1, and the
+    # dynamic *track* expression in arg 0 must not be misread as a name
+    src = (
+        "def f(obs, track, rank):\n"
+        "    obs.tracer.counter(track, f'load.r{rank}', 0.0, {'v': 1})\n"
+        "    obs.tracer.counter(track, 'load', 0.0, {'v': 1})\n"
+    )
+    assert len(_check("O503", src)) == 1
+
+
+def test_static_names_and_variables_not_flagged():
+    src = (
+        "NAME = 'koidb.flushes'\n"
+        "def f(obs):\n"
+        "    obs.metrics.counter('koidb.bytes_written').add(1)\n"
+        "    obs.metrics.counter(NAME).add(1)\n"
+        "    obs.tracer.begin(obs.track('flush', 'rank 0'), 'flush', 0.0)\n"
+    )
+    assert _check("O503", src) == []
+
+
+def test_obs_package_exempt_from_o503():
+    # the tracer plumbing forwards names it did not originate
+    src = "def replay(self, track, name, ts):\n    self.begin(track, str(name), ts)\n"
+    ctx = FileContext.from_source(src, Path("src/repro/obs/tracer.py"))
+    assert not _rule("O503").applies(ctx)
 
 
 def test_repo_is_o_clean(repo_src):

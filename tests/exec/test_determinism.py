@@ -4,8 +4,10 @@ bit-identical.
 This is the contract ``docs/PARALLELISM.md`` promises: for a fixed
 seeded trace, every backend produces byte-identical KoiDB logs, equal
 query results (keys, rids, and the full measured/modeled cost), and an
-identical ``metrics.json`` snapshot.  ``trace.json`` is explicitly
-*outside* the contract (worker-side spans are not replayed).
+identical ``metrics.json`` snapshot.  ``trace.json`` is covered by the
+same contract — worker spans are recorded rank-locally and replayed in
+rank order — and is asserted separately in
+``test_trace_determinism.py``.
 """
 
 from __future__ import annotations

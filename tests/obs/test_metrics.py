@@ -139,3 +139,47 @@ class TestNullRegistry:
         reg = NullMetricsRegistry()
         assert reg.counter("a") is reg.counter("b")
         assert reg.histogram("a", (1.0,)) is reg.histogram("b", (2.0, 3.0))
+
+
+class TestHistogramQuantiles:
+    def _hist(self):
+        h = Histogram("h", (1.0, 2.0, 5.0, 10.0))
+        for v in [0.5] * 50 + [1.5] * 30 + [4.0] * 15 + [8.0] * 4 + [100.0]:
+            h.observe(v)
+        return h
+
+    def test_quantiles_are_bucket_upper_bounds(self):
+        h = self._hist()
+        # 50th sample sits in the first bucket (<=1.0), 95th in the
+        # third (<=5.0), 99th in the fourth (<=10.0)
+        assert h.quantile(0.50) == 1.0
+        assert h.quantile(0.95) == 5.0
+        assert h.quantile(0.99) == 10.0
+
+    def test_overflow_quantile_reports_observed_max(self):
+        h = self._hist()
+        assert h.quantile(1.0) == 100.0
+
+    def test_empty_histogram_has_no_quantiles(self):
+        h = Histogram("h", (1.0,))
+        assert h.quantile(0.5) is None
+
+    def test_out_of_range_q_rejected(self):
+        h = self._hist()
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_to_dict_carries_percentile_summary(self):
+        d = self._hist().to_dict()
+        assert d["p50"] == 1.0
+        assert d["p95"] == 5.0
+        assert d["p99"] == 10.0
+        # a merged worker delta must reproduce the same summary
+        reg = MetricsRegistry()
+        reg.merge_worker_delta(
+            {"counters": {}, "gauges": {}, "histograms": {"h": d}}
+        )
+        snap = reg.snapshot()
+        assert snap["histograms"]["h"]["p99"] == 10.0

@@ -1,0 +1,1 @@
+"""Tests for the carp-perf baseline-gated benchmark harness."""

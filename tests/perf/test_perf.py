@@ -1,0 +1,147 @@
+"""carp-perf: deterministic workloads, baseline gating, CLI exit codes.
+
+The regression gate's contract is exercised end-to-end through the CLI
+against a redirected ``REPRO_RESULTS_DIR``: a fresh baseline compares
+clean (exit 0), a tampered baseline injecting a >=10% virtual-time
+regression fails (exit nonzero), and wall-clock rows never block.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.cli import main as perf_main
+from repro.perf.harness import (
+    VIRTUAL_TOLERANCE,
+    Metric,
+    _compare_metric,
+    baseline_path,
+    run_workload,
+)
+from repro.perf.workloads import WORKLOADS
+
+
+@pytest.fixture()
+def results_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    return tmp_path
+
+
+def _tamper(name: str, metric: str, scale: float = 1.0,
+            shift: float = 0.0) -> None:
+    path = baseline_path(name)
+    doc = json.loads(path.read_text())
+    for row in doc["rows"]:
+        if row["metric"] == metric:
+            row["value"] = row["value"] * scale + shift
+            break
+    else:  # pragma: no cover - guards test typos
+        raise AssertionError(f"no row {metric} in {path}")
+    path.write_text(json.dumps(doc))
+
+
+class TestRunWorkload:
+    def test_virtual_and_exact_metrics_deterministic(self):
+        spec = WORKLOADS["ingest-serial"]
+        first = {m.name: m for m in run_workload(spec)}
+        second = {m.name: m for m in run_workload(spec)}
+        for name, metric in first.items():
+            if metric.kind == "wall":
+                continue
+            assert second[name].value == metric.value, name
+        assert first["records_ingested"].value > 0
+        assert first["ingest_virtual_ticks"].value > 0
+
+    def test_unknown_kind_rejected(self):
+        spec = WORKLOADS["ingest-serial"]
+        bad = type(spec)(name="x", kind="nope", backend="serial")
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            run_workload(bad)
+
+
+class TestCompareMetric:
+    ROW = {"metric": "m", "kind": "virtual", "unit": "ticks",
+           "value": 100.0, "tolerance": VIRTUAL_TOLERANCE}
+
+    def _current(self, value: float, kind: str = "virtual") -> Metric:
+        return Metric("m", value, "ticks", kind, VIRTUAL_TOLERANCE)
+
+    def test_within_tolerance_ok(self):
+        c = _compare_metric(self.ROW, self._current(101.0))
+        assert c.status == "ok" and not c.blocking
+
+    def test_regression_blocks(self):
+        c = _compare_metric(self.ROW, self._current(111.0))
+        assert c.status == "regressed" and c.blocking
+
+    def test_improvement_surfaces_without_blocking(self):
+        c = _compare_metric(self.ROW, self._current(80.0))
+        assert c.status == "improved" and not c.blocking
+
+    def test_exact_change_blocks(self):
+        row = dict(self.ROW, kind="exact", tolerance=0.0)
+        c = _compare_metric(row, self._current(100.5, kind="exact"))
+        assert c.status == "changed" and c.blocking
+
+    def test_wall_never_blocks(self):
+        row = dict(self.ROW, kind="wall")
+        c = _compare_metric(row, self._current(1000.0, kind="wall"))
+        assert c.status == "ok" and not c.blocking
+
+    def test_missing_current_blocks(self):
+        c = _compare_metric(self.ROW, None)
+        assert c.status == "missing" and c.blocking
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert perf_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in WORKLOADS:
+            assert name in out
+
+    def test_unknown_workload_exits_2(self, results_dir):
+        assert perf_main(["run", "no-such-workload"]) == 2
+
+    def test_fresh_baseline_compares_clean(self, results_dir, capsys):
+        assert perf_main(["run", "ingest-serial"]) == 0
+        assert baseline_path("ingest-serial").is_file()
+        assert perf_main(["compare", "ingest-serial"]) == 0
+        out = capsys.readouterr().out
+        assert "ingest_virtual_ticks" in out
+
+    def test_injected_regression_fails_gate(self, results_dir, capsys):
+        assert perf_main(["run", "ingest-serial"]) == 0
+        # lowering the baseline 10% makes the unchanged current run
+        # read as a +11% virtual-time regression
+        _tamper("ingest-serial", "ingest_virtual_ticks", scale=0.9)
+        json_out = results_dir / "cmp.json"
+        rc = perf_main(["compare", "ingest-serial",
+                        "--json", str(json_out)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "perf regression gate failed" in err
+        assert "ingest_virtual_ticks" in err
+        doc = json.loads(json_out.read_text())
+        assert doc["blocking"] is True
+        status = {
+            m["metric"]: m["status"]
+            for m in doc["workloads"][0]["metrics"]
+        }
+        assert status["ingest_virtual_ticks"] == "regressed"
+
+    def test_exact_output_change_fails_gate(self, results_dir):
+        assert perf_main(["run", "ingest-serial"]) == 0
+        _tamper("ingest-serial", "records_ingested", shift=1.0)
+        assert perf_main(["compare", "ingest-serial"]) == 1
+
+    def test_wall_noise_does_not_fail_gate(self, results_dir):
+        assert perf_main(["run", "ingest-serial"]) == 0
+        _tamper("ingest-serial", "wall_seconds", scale=100.0)
+        assert perf_main(["compare", "ingest-serial"]) == 0
+
+    def test_missing_baseline_fails(self, results_dir, capsys):
+        assert perf_main(["compare", "ingest-serial"]) == 1
+        assert "no baseline" in capsys.readouterr().err

@@ -1,0 +1,110 @@
+"""EXPLAIN reports: exact reconciliation with the executed query."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import Session
+from repro.core.config import CarpOptions
+from repro.obs import Obs
+from repro.query.engine import PartitionedStore
+from repro.query.explain import QueryExplain
+from repro.traces.vpic import VpicTraceSpec, generate_timestep
+
+RANGES = [
+    (0, 0.1, 0.5, False),
+    (0, 1.0, 10.0, False),
+    (0, 30.0, 60.0, True),
+    (1, 0.5, 2.0, False),
+    (0, -5.0, -1.0, False),  # empty result
+]
+
+
+@pytest.fixture(scope="module")
+def store(carp_output):
+    with PartitionedStore(carp_output["dir"]) as s:
+        yield s
+
+
+@pytest.mark.parametrize("epoch,lo,hi,keys_only", RANGES)
+def test_explain_reconciles_with_measured_cost(store, epoch, lo, hi,
+                                               keys_only):
+    report = store.explain(epoch, lo, hi, keys_only=keys_only)
+    measured = store.query(epoch, lo, hi, keys_only=keys_only).cost
+    assert report.reconcile(measured) == []
+    assert report.cost == measured
+
+
+def test_explain_covers_every_log_with_epoch_data(store):
+    report = store.explain(0, 0.5, 2.0)
+    # one row per log holding epoch data, including logs the range
+    # never touches (zero-filled), so the plan shows what was *pruned*
+    readers_with_data = {idx for idx, _ in store.entries(0)}
+    assert len(report.logs) == len(readers_with_data)
+    for log in report.logs:
+        assert log.ssts_read == len(log.entries)
+        assert log.ssts_read <= log.ssts_considered
+    # a selective range must actually prune SSTs somewhere
+    assert report.cost.ssts_read < report.cost.ssts_considered
+
+
+def test_explain_on_compacted_store(sorted_output):
+    with PartitionedStore(sorted_output) as store:
+        epoch = store.epochs()[0]
+        lo, hi = store.key_range(epoch)
+        report = store.explain(epoch, lo, (lo + hi) / 2)
+        measured = store.query(epoch, lo, (lo + hi) / 2).cost
+        assert report.reconcile(measured) == []
+
+
+def test_explain_records_no_observability(carp_output):
+    obs = Obs.recording()
+    with PartitionedStore(carp_output["dir"], obs=obs) as store:
+        before_events = len(obs.tracer.to_doc()["traceEvents"])
+        before_metrics = json.dumps(obs.metrics.snapshot(), sort_keys=True)
+        store.explain(0, 0.5, 2.0)
+        assert len(obs.tracer.to_doc()["traceEvents"]) == before_events
+        assert json.dumps(obs.metrics.snapshot(),
+                          sort_keys=True) == before_metrics
+
+
+def test_reconcile_flags_tampered_cost(store):
+    report = store.explain(0, 0.5, 2.0)
+    bad_cost = dataclasses.replace(report.cost,
+                                   bytes_read=report.cost.bytes_read + 1)
+    tampered = dataclasses.replace(report, cost=bad_cost)
+    errors = tampered.reconcile()
+    assert errors and any("bytes_read" in e for e in errors)
+    # and a measured-cost mismatch is reported field-by-field
+    errors = report.reconcile(bad_cost)
+    assert errors and any("measured" in e for e in errors)
+
+
+def test_report_serializes_and_renders(store):
+    report = store.explain(0, 0.5, 2.0, keys_only=True)
+    doc = json.loads(json.dumps(report.to_dict()))
+    assert doc["epoch"] == 0
+    assert doc["keys_only"] is True
+    assert len(doc["logs"]) == len(report.logs)
+    assert doc["cost"]["latency"] == report.cost.latency
+    text = report.render_text()
+    assert "EXPLAIN epoch 0" in text
+    assert "keys only" in text
+    for log in report.logs:
+        assert log.log in text
+
+
+def test_session_explain_passthrough(tmp_path):
+    spec = VpicTraceSpec(nranks=4, particles_per_rank=400, value_size=8,
+                         seed=3)
+    options = CarpOptions(pivot_count=32, oob_capacity=32,
+                          renegotiations_per_epoch=2, memtable_records=256,
+                          round_records=128, value_size=8)
+    with Session(spec.nranks, tmp_path, options) as session:
+        session.ingest_epoch(0, generate_timestep(spec, 0))
+        report = session.explain(0, 0.5, 2.0)
+        assert isinstance(report, QueryExplain)
+        assert report.reconcile(session.query(0, 0.5, 2.0).cost) == []

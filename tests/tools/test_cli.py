@@ -190,3 +190,56 @@ class TestTracegen:
 
         with PartitionedStore(tmp_path / "out") as store:
             assert store.total_records(0) == 800
+
+
+class TestExplainCli:
+    def test_reconciles_and_exits_zero(self, carp_dir, capsys):
+        from repro.tools.explain_cli import main as explain_main
+
+        rc = explain_main([str(carp_dir), "--lo", "0.5", "--hi", "2.0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "EXPLAIN epoch" in out
+        assert "reconciliation: explain cost == measured QueryCost" in out
+
+    def test_json_report_verified(self, carp_dir, capsys):
+        import json
+
+        from repro.tools.explain_cli import main as explain_main
+
+        rc = explain_main([str(carp_dir), "--json", "--keys-only"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["verified"] is True
+        assert doc["keys_only"] is True
+        assert doc["logs"]
+        totals = sum(l["bytes_read"] for l in doc["logs"])
+        assert totals == doc["cost"]["bytes_read"]
+
+    def test_bad_epoch_errors(self, carp_dir, capsys):
+        from repro.tools.explain_cli import main as explain_main
+
+        rc = explain_main([str(carp_dir), "--epoch", "99"])
+        assert rc == 2
+        assert "epoch 99" in capsys.readouterr().err
+
+    def test_missing_store_errors(self, tmp_path):
+        from repro.tools.explain_cli import main as explain_main
+
+        assert explain_main([str(tmp_path / "nope")]) == 2
+
+
+class TestTraceCli:
+    def test_top_spans_report(self, tmp_path, capsys):
+        from repro.tools.trace_cli import main as trace_main
+
+        rc = trace_main([
+            "-o", str(tmp_path / "obs"), "--ranks", "4", "--epochs", "2",
+            "--records", "300", "--top", "3",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Top 3 spans per track type" in out
+        # worker-side flush spans must surface in the ranking
+        assert "flush" in out
+        assert (tmp_path / "obs" / "trace.json").is_file()

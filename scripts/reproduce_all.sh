@@ -13,6 +13,11 @@ bash scripts/lint.sh
 echo "== unit / property / integration tests =="
 pytest tests/ 2>&1 | tee test_output.txt
 
+if [[ "${CARP_CHAOS:-0}" == "1" ]]; then
+    echo "== chaos gate (crash-recovery trials, docs/FAULTS.md) =="
+    bash scripts/chaos.sh
+fi
+
 echo "== benchmark harness (all paper tables & figures) =="
 pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 

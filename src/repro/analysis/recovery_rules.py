@@ -1,0 +1,97 @@
+"""Crash-recovery rules (R-family).
+
+``repro.storage`` recovery follows one discipline (see
+``docs/INVARIANTS.md`` and ``docs/FAULTS.md``): repair never destroys
+bytes.  Torn tails are *copied* into the ``quarantine/`` directory
+before the log is truncated to its commit point, and unrecoverable
+files are *renamed* aside (``os.replace``), never deleted.  A stray
+``os.remove`` in a repair path would turn a recoverable corruption
+into silent data loss — exactly the failure class the chaos harness
+exists to rule out.
+
+Rules
+-----
+R701
+    File deletion in ``repro.storage`` outside a quarantine path.
+    Flags ``os.remove`` / ``os.unlink`` / ``os.rmdir`` /
+    ``os.removedirs`` / ``shutil.rmtree`` and ``Path.unlink()`` /
+    ``Path.rmdir()`` method calls, unless the enclosing function's
+    name contains ``quarantine`` (the sanctioned copy-then-truncate
+    helpers in ``repro.storage.recovery``).  Recovery code that needs
+    a file gone must quarantine it (copy or rename into
+    ``quarantine/``), never unlink it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import FileContext, Rule, Violation, qualified_name
+
+#: The on-disk layer the R-family governs.
+RECOVERY_SCOPE = ("repro.storage",)
+
+#: Statically resolvable deletion calls.
+_DELETION_QUALIFIED = frozenset(
+    {
+        "os.remove",
+        "os.unlink",
+        "os.rmdir",
+        "os.removedirs",
+        "shutil.rmtree",
+    }
+)
+
+#: Method names that delete when called on a ``pathlib.Path``.
+_DELETION_METHODS = frozenset({"unlink", "rmdir"})
+
+
+class NoDeleteOutsideQuarantineRule(Rule):
+    id = "R701"
+    name = "storage-delete-outside-quarantine"
+    description = (
+        "file deletion in repro.storage outside a quarantine helper — "
+        "recovery quarantines (copy/rename), it never destroys bytes"
+    )
+    scope = RECOVERY_SCOPE
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+
+        def is_deletion(node: ast.Call) -> str | None:
+            qual = qualified_name(node.func, ctx.aliases)
+            if qual in _DELETION_QUALIFIED:
+                return qual
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DELETION_METHODS
+                and (qual is None or not qual.startswith(("os.", "shutil.")))
+            ):
+                return f"<path>.{node.func.attr}"
+            return None
+
+        def visit(node: ast.AST, stack: tuple[str, ...]) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack = stack + (node.name,)
+            elif isinstance(node, ast.Call):
+                name = is_deletion(node)
+                if name is not None and not any(
+                    "quarantine" in fn for fn in stack
+                ):
+                    out.append(
+                        self.violation(
+                            ctx, node,
+                            f"{name}() in repro.storage outside a "
+                            "quarantine helper — recovery must copy or "
+                            "rename into quarantine/, never delete "
+                            "(committed bytes are sacred)",
+                        )
+                    )
+            for child in ast.iter_child_nodes(node):
+                visit(child, stack)
+
+        visit(ctx.tree, ())
+        return out
+
+
+RECOVERY_RULES: tuple[Rule, ...] = (NoDeleteOutsideQuarantineRule(),)

@@ -19,6 +19,7 @@ from repro.analysis.exec_rules import EXEC_RULES
 from repro.analysis.formats import FORMAT_RULES
 from repro.analysis.hygiene import HYGIENE_RULES
 from repro.analysis.obs_rules import OBS_RULES
+from repro.analysis.recovery_rules import RECOVERY_RULES
 from repro.analysis.typing_rules import TYPING_RULES
 
 #: Every registered rule, in family order.
@@ -30,6 +31,7 @@ ALL_RULES: tuple[Rule, ...] = (
     *TYPING_RULES,
     *OBS_RULES,
     *EXEC_RULES,
+    *RECOVERY_RULES,
 )
 
 

@@ -35,6 +35,7 @@ from repro.core.config import CarpOptions
 from repro.core.records import RecordBatch
 from repro.exec.api import Executor
 from repro.exec.factory import resolve_executor
+from repro.faults.plan import FaultPlan
 from repro.obs import NULL_OBS, Obs
 from repro.query.engine import PartitionedStore, QueryResult
 from repro.query.explain import QueryExplain
@@ -63,6 +64,7 @@ class Session:
         executor: Executor | None = None,
         io: IOModel | None = None,
         record: bool = False,
+        faults: FaultPlan | None = None,
     ) -> None:
         if obs is None:
             self.obs = Obs.recording() if record else NULL_OBS
@@ -78,6 +80,7 @@ class Session:
             nreceivers=nreceivers,
             obs=self.obs,
             executor=self.executor,
+            faults=faults,
         )
         self._store: PartitionedStore | None = None
         self._reader: RangeReader | None = None

@@ -31,6 +31,13 @@ from repro.core.triggers import PeriodicTrigger, TriggerLog, TriggerReason
 from repro.exec.api import Executor
 from repro.exec.factory import resolve_executor
 from repro.exec.shards import KoiDBProxy, KoiDBShardClient
+from repro.faults.plan import (
+    ACTION_DROP,
+    SITE_SHUFFLE_SEND,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrashError,
+)
 from repro.obs import MESSAGE_TICK, NULL_OBS, RECORD_TICK, ROUND_TICK, Obs
 from repro.shuffle.flow import DelayQueue, ShuffleMessage
 from repro.shuffle.router import range_route, split_by_destination
@@ -110,6 +117,7 @@ class CarpRun:
         nreceivers: int | None = None,
         obs: Obs | None = None,
         executor: Executor | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if nranks < 1:
             raise ValueError("nranks must be >= 1")
@@ -154,6 +162,16 @@ class CarpRun:
         # per-rank command streams replayed there are exactly the
         # serial call sequence, so the log bytes are identical
         self._executor, self._exec_owned = resolve_executor(executor)
+        # a fault plan arms the injection sites (see repro.faults): the
+        # driver hosts the shuffle.send site, each receiver rank's KoiDB
+        # hosts the storage sites.  With faults=None every hook below is
+        # a single `is None` branch — production behaviour is unchanged.
+        self.faults = faults
+        shuffle_specs = faults.shuffle_specs() if faults is not None else ()
+        self._shuffle_injector = (
+            FaultInjector(shuffle_specs, obs=self.obs)
+            if shuffle_specs else None
+        )
         self.koidbs: list[KoiDB] | list[KoiDBProxy]
         if self._executor.is_serial:
             self._shards: KoiDBShardClient | None = None
@@ -169,14 +187,20 @@ class CarpRun:
                 for _ in range(self.nreceivers)
             ]
             self.koidbs = [
-                KoiDB(r, self.out_dir, self.options, obs=self._rank_obs[r])
+                KoiDB(
+                    r, self.out_dir, self.options, obs=self._rank_obs[r],
+                    faults=(
+                        faults.specs_for_rank(r)
+                        if faults is not None else None
+                    ),
+                )
                 for r in range(self.nreceivers)
             ]
         else:
             self._rank_obs = []
             self._shards = KoiDBShardClient(
                 self._executor, self.out_dir, self.options,
-                self.nreceivers, obs=self.obs,
+                self.nreceivers, obs=self.obs, faults=faults,
             )
             self.koidbs = self._shards.proxies
         self.table: PartitionTable | None = None
@@ -407,8 +431,18 @@ class CarpRun:
 
         # flush the fabric and all storage buffers
         self._deliver(self._flow.drain())
-        for db in self.koidbs:
-            db.finish_epoch()
+        if self.faults is not None:
+            # determinacy point for crash injection: surface any
+            # mid-epoch worker failure *before* the first finish
+            # command, so a crashed epoch commits on no rank — the
+            # same all-or-per-rank outcome the serial path produces by
+            # aborting instantly.  (Gated on a fault plan so fault-free
+            # runs keep today's exact barrier/trace schedule.)
+            if self._shards is not None:
+                self._shards.barrier()
+            else:
+                self._sync_storage_trace()
+        self._finish_all_ranks()
         if self._shards is not None:
             # the barrier replays outstanding command streams on the
             # shard workers and syncs proxy stats/offsets/metrics (and
@@ -435,6 +469,29 @@ class CarpRun:
              "renegotiations": stats.renegotiations},
         )
         return stats
+
+    def _finish_all_ranks(self) -> None:
+        """Issue ``finish_epoch`` on every rank, fail-stop per rank.
+
+        Under a fault plan the serial path defers an injected crash
+        until every other rank has finished: a parallel run's finish
+        commands execute independently per shard worker, so one rank's
+        torn epoch flush must not prevent the others from committing —
+        per-rank fail-stop, identical log bytes on every backend.
+        """
+        if self.faults is None or self._shards is not None:
+            for db in self.koidbs:
+                db.finish_epoch()
+            return
+        first_crash: InjectedCrashError | None = None
+        for db in self.koidbs:
+            try:
+                db.finish_epoch()
+            except InjectedCrashError as exc:
+                if first_crash is None:
+                    first_crash = exc
+        if first_crash is not None:
+            raise first_crash
 
     # ------------------------------------------------------------ routing
 
@@ -497,6 +554,21 @@ class CarpRun:
         assert self._flow is not None and self.table is not None
         if self._obs_on:
             self._m_shuffled.add(len(batch))
+        if self._shuffle_injector is not None:
+            spec = self._shuffle_injector.check(SITE_SHUFFLE_SEND)
+            if spec is not None:
+                # a faulted send always routes through the fabric, even
+                # on a zero-delay configuration: a drop is withheld
+                # until the epoch-end drain retransmits it, a delay is
+                # held extra rounds — late delivery, never data loss
+                if spec.action == ACTION_DROP:
+                    self._flow.send(dest, batch, self.table.version, drop=True)
+                else:
+                    self._flow.send(
+                        dest, batch, self.table.version,
+                        extra_delay=int(spec.arg),
+                    )
+                return
         if self.options.shuffle_delay_rounds == 0:
             self.koidbs[dest].ingest(batch)
         else:

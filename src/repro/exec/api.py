@@ -51,7 +51,15 @@ class WorkerTaskError(ExecutorError):
 
 
 class WorkerCrashError(ExecutorError):
-    """A worker process died without reporting a result."""
+    """A worker crashed (process death or an injected ``exec.task`` fault).
+
+    Uniquely among task failures this one is *retryable*: executors
+    built with ``task_retries > 0`` re-run the crashed task inline on
+    its owning worker, against the same sticky state, before giving
+    up.  Task functions that can raise it must therefore be idempotent
+    up to their crash point (``koidb_apply`` checks its fault site
+    before applying any command, so a retry replays nothing twice).
+    """
 
 
 def worker_of(shard: int, workers: int) -> int:
@@ -75,6 +83,12 @@ class Executor(abc.ABC):
     name: str = ""
     #: Number of workers tasks are spread across.
     workers: int = 1
+    #: Per-task retry budget for :class:`WorkerCrashError` (0 = fail fast).
+    #: Retries run inline on the owning worker, preserving sticky shard
+    #: ownership and per-shard submission order.
+    task_retries: int = 0
+    #: Total crash retries performed over the executor's lifetime.
+    retries_done: int = 0
 
     @property
     def is_serial(self) -> bool:
@@ -144,10 +158,12 @@ class SerialExecutor(Executor):
     name = "serial"
     workers = 1
 
-    def __init__(self) -> None:
+    def __init__(self, task_retries: int = 0) -> None:
         self._states: dict[int, dict[str, Any]] = {}
         self._results: list[Any] = []
-        self._failure: WorkerTaskError | None = None
+        self._failure: ExecutorError | None = None
+        self.task_retries = task_retries
+        self.retries_done = 0
 
     @property
     def is_serial(self) -> bool:
@@ -157,10 +173,27 @@ class SerialExecutor(Executor):
         if self._failure is not None:
             return  # drain will raise; mirror parallel fail-fast drains
         state = self._states.setdefault(shard, {})
-        try:
-            self._results.append(fn(state, *args))
-        except Exception as exc:  # noqa: BLE001 - uniform worker semantics
-            self._failure = WorkerTaskError(shard, repr(exc), traceback.format_exc())
+        retries = 0
+        while True:
+            try:
+                self._results.append(fn(state, *args))
+                return
+            except WorkerCrashError as exc:
+                if retries < self.task_retries:
+                    retries += 1
+                    self.retries_done += 1
+                    continue
+                self._failure = WorkerCrashError(
+                    f"task on shard {shard} crashed"
+                    f"{f' after {retries} retries' if retries else ''}: "
+                    f"{exc}"
+                )
+                return
+            except Exception as exc:  # noqa: BLE001 - uniform worker semantics
+                self._failure = WorkerTaskError(
+                    shard, repr(exc), traceback.format_exc()
+                )
+                return
 
     def drain(self) -> list[Any]:
         results, self._results = self._results, []

@@ -22,6 +22,7 @@ EXECUTOR_KINDS = ("serial", "thread", "process")
 
 ENV_EXECUTOR = "CARP_EXECUTOR"
 ENV_WORKERS = "CARP_WORKERS"
+ENV_TASK_RETRIES = "CARP_TASK_RETRIES"
 
 
 def default_worker_count() -> int:
@@ -29,20 +30,31 @@ def default_worker_count() -> int:
     return os.cpu_count() or 1
 
 
-def make_executor(kind: str, workers: int | None = None) -> Executor:
+def default_task_retries() -> int:
+    """Crash-retry budget from ``CARP_TASK_RETRIES`` (default 0)."""
+    raw = os.environ.get(ENV_TASK_RETRIES, "").strip()
+    return int(raw) if raw else 0
+
+
+def make_executor(
+    kind: str, workers: int | None = None, task_retries: int | None = None
+) -> Executor:
     """Construct a backend by name.
 
     ``workers`` defaults to the CPU count for the pool backends and is
-    ignored for ``serial``.  Workers spawn lazily, so an executor that
-    is never submitted to costs nothing.
+    ignored for ``serial``.  ``task_retries`` is the per-task
+    :class:`~repro.exec.api.WorkerCrashError` retry budget (default:
+    ``CARP_TASK_RETRIES`` or 0).  Workers spawn lazily, so an executor
+    that is never submitted to costs nothing.
     """
+    retries = task_retries if task_retries is not None else default_task_retries()
     if kind == "serial":
-        return SerialExecutor()
+        return SerialExecutor(task_retries=retries)
     n = workers if workers is not None else default_worker_count()
     if kind == "thread":
-        return ThreadExecutor(n)
+        return ThreadExecutor(n, task_retries=retries)
     if kind == "process":
-        return ProcessExecutor(n)
+        return ProcessExecutor(n, task_retries=retries)
     raise ValueError(
         f"unknown executor kind {kind!r} (expected one of {EXECUTOR_KINDS})"
     )

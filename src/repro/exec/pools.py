@@ -45,11 +45,53 @@ _POLL_TIMEOUT = 0.1
 
 _OK = "ok"
 _ERR = "err"
+_CRASH = "crash"
+
+
+def _run_task(
+    states: dict[int, dict[str, Any]],
+    result_q: Any,
+    item: tuple[int, int, TaskFn, tuple[Any, ...]],
+    task_retries: int,
+) -> None:
+    """Execute one ticketed task, retrying crashes inline.
+
+    Shared by both worker loops.  Retrying *inside* the worker (rather
+    than re-enqueueing at the driver) preserves per-shard submission
+    order: a retried task still finishes before any later task for the
+    same shard is picked up.  Every message carries the retry count as
+    its last field so drains can account for recovery work.
+    """
+    tid, shard, fn, args = item
+    state = states.setdefault(shard, {})
+    retries = 0
+    while True:
+        try:
+            value = fn(state, *args)
+        except WorkerCrashError as exc:
+            if retries < task_retries:
+                retries += 1
+                continue
+            result_q.put(
+                (_CRASH, tid, shard, repr(exc),
+                 traceback.format_exc(), retries)
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 - reported via the queue
+            result_q.put(
+                (_ERR, tid, shard, repr(exc),
+                 traceback.format_exc(), retries)
+            )
+            return
+        else:
+            result_q.put((_OK, tid, value, retries))
+            return
 
 
 def _thread_worker_main(
     task_q: "queue.SimpleQueue[tuple[int, int, TaskFn, tuple[Any, ...]] | None]",
     result_q: "queue.SimpleQueue[tuple[Any, ...]]",
+    task_retries: int = 0,
 ) -> None:
     """Worker loop shared by every :class:`ThreadExecutor` thread."""
     states: dict[int, dict[str, Any]] = {}
@@ -57,17 +99,10 @@ def _thread_worker_main(
         item = task_q.get()
         if item is None:
             return
-        tid, shard, fn, args = item
-        state = states.setdefault(shard, {})
-        try:
-            value = fn(state, *args)
-        except Exception as exc:  # noqa: BLE001 - reported via the queue
-            result_q.put((_ERR, tid, shard, repr(exc), traceback.format_exc()))
-        else:
-            result_q.put((_OK, tid, value))
+        _run_task(states, result_q, item, task_retries)
 
 
-def _process_worker_main(task_q: Any, result_q: Any) -> None:
+def _process_worker_main(task_q: Any, result_q: Any, task_retries: int = 0) -> None:
     """Worker loop run inside every :class:`ProcessExecutor` child.
 
     Identical protocol to the thread loop, but everything crossing the
@@ -79,28 +114,30 @@ def _process_worker_main(task_q: Any, result_q: Any) -> None:
         item = task_q.get()
         if item is None:
             return
-        tid, shard, fn, args = item
-        state = states.setdefault(shard, {})
-        try:
-            value = fn(state, *args)
-        except Exception as exc:  # noqa: BLE001 - reported via the queue
-            result_q.put((_ERR, tid, shard, repr(exc), traceback.format_exc()))
-        else:
-            result_q.put((_OK, tid, value))
+        _run_task(states, result_q, item, task_retries)
 
 
 class _PoolExecutor(Executor):
     """Ticketed submit/drain machinery shared by both pool backends."""
 
-    def __init__(self, workers: int) -> None:
+    def __init__(self, workers: int, task_retries: int = 0) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
         self.workers = workers
+        self.task_retries = task_retries
+        self.retries_done = 0
         self._started = False
         self._closed = False
         self._next_tid = 0
-        # tid -> shard, for every task submitted since the last drain
-        self._pending: dict[int, int] = {}
+        # tid -> (shard, fn, args) for every task since the last drain;
+        # keeping the full task lets ProcessExecutor resubmit after a
+        # real worker death.
+        self._pending: dict[int, tuple[int, TaskFn, tuple[Any, ...]]] = {}
+        # the drain in progress exposes its completed tickets here so
+        # _check_workers_alive knows what not to resubmit
+        self._drain_done: dict[int, tuple[Any, ...]] = {}
 
     # ------------------------------------------------------ subclass API
 
@@ -132,11 +169,12 @@ class _PoolExecutor(Executor):
             self._started = True
         tid = self._next_tid
         self._next_tid += 1
-        self._pending[tid] = shard
+        self._pending[tid] = (shard, fn, args)
         self._enqueue(worker_of(shard, self.workers), (tid, shard, fn, args))
 
     def drain(self) -> list[Any]:
         outcomes: dict[int, tuple[Any, ...]] = {}
+        self._drain_done = outcomes
         while len(outcomes) < len(self._pending):
             try:
                 msg = self._result_get()
@@ -145,14 +183,24 @@ class _PoolExecutor(Executor):
                 continue
             outcomes[msg[1]] = msg
         pending, self._pending = self._pending, {}
-        failure: WorkerTaskError | None = None
+        self._drain_done = {}
+        failure: ExecutorError | None = None
         results: list[Any] = []
         for tid in sorted(pending):
             msg = outcomes[tid]
-            if msg[0] == _ERR:
+            self.retries_done += msg[-1]
+            if failure is not None:
+                continue
+            if msg[0] == _OK:
+                results.append(msg[2])
+            elif msg[0] == _CRASH:
+                failure = WorkerCrashError(
+                    f"task on shard {msg[2]} crashed"
+                    f"{f' after {msg[5]} retries' if msg[5] else ''}: "
+                    f"{msg[3]}"
+                )
+            else:
                 failure = WorkerTaskError(msg[2], msg[3], msg[4])
-                break
-            results.append(msg[2])
         if failure is not None:
             raise failure
         return results
@@ -176,8 +224,8 @@ class ThreadExecutor(_PoolExecutor):
 
     name = "thread"
 
-    def __init__(self, workers: int) -> None:
-        super().__init__(workers)
+    def __init__(self, workers: int, task_retries: int = 0) -> None:
+        super().__init__(workers, task_retries)
         self._task_qs: list[queue.SimpleQueue[Any]] = []
         self._result_q: queue.SimpleQueue[tuple[Any, ...]] = queue.SimpleQueue()
         self._threads: list[threading.Thread] = []
@@ -187,7 +235,7 @@ class ThreadExecutor(_PoolExecutor):
             task_q: queue.SimpleQueue[Any] = queue.SimpleQueue()
             thread = threading.Thread(
                 target=_thread_worker_main,
-                args=(task_q, self._result_q),
+                args=(task_q, self._result_q, self.task_retries),
                 name=f"carp-exec-{i}",
                 daemon=True,
             )
@@ -221,8 +269,8 @@ class ProcessExecutor(_PoolExecutor):
 
     name = "process"
 
-    def __init__(self, workers: int) -> None:
-        super().__init__(workers)
+    def __init__(self, workers: int, task_retries: int = 0) -> None:
+        super().__init__(workers, task_retries)
         # fork avoids re-importing the world per worker where the OS
         # supports it; tasks are spawn-safe regardless (P601 bans the
         # module-global state that fork would otherwise paper over).
@@ -233,6 +281,7 @@ class ProcessExecutor(_PoolExecutor):
         self._task_qs: list[Any] = []
         self._result_q: Any = None
         self._procs: list[Any] = []
+        self._respawns_left = task_retries
 
     def _start(self) -> None:
         self._result_q = self._ctx.Queue()
@@ -240,7 +289,7 @@ class ProcessExecutor(_PoolExecutor):
             task_q = self._ctx.Queue()
             proc = self._ctx.Process(
                 target=_process_worker_main,
-                args=(task_q, self._result_q),
+                args=(task_q, self._result_q, self.task_retries),
                 name=f"carp-exec-{i}",
                 daemon=True,
             )
@@ -258,17 +307,54 @@ class ProcessExecutor(_PoolExecutor):
 
     def _check_workers_alive(self) -> None:
         dead = [
-            (proc.name, proc.exitcode)
-            for proc in self._procs
+            i for i, proc in enumerate(self._procs)
             if not proc.is_alive() and proc.exitcode not in (0, None)
         ]
-        if dead:
-            self._closed = True
-            self._shutdown()
-            detail = ", ".join(f"{name} (exit {code})" for name, code in dead)
-            raise WorkerCrashError(
-                f"worker process died without reporting a result: {detail}"
-            )
+        if not dead:
+            return
+        if self._respawns_left >= len(dead):
+            for worker in dead:
+                self._respawns_left -= 1
+                self._respawn(worker)
+            return
+        detail = ", ".join(
+            f"{self._procs[i].name} (exit {self._procs[i].exitcode})"
+            for i in dead
+        )
+        self._closed = True
+        self._shutdown()
+        raise WorkerCrashError(
+            f"worker process died without reporting a result: {detail}"
+        )
+
+    def _respawn(self, worker: int) -> None:
+        """Replace a dead worker and resubmit its unfinished tasks.
+
+        Per-shard state in the dead process is gone, so this is sound
+        only for tasks that rebuild state idempotently (``koidb_apply``
+        with ``recover=True`` semantics, or stateless probes).  The
+        worker gets a *fresh* task queue so tasks buffered in the dead
+        worker's queue are not executed twice; a task the worker died
+        inside may still re-run, which is the standard at-least-once
+        caveat of crash retry.
+        """
+        task_q = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_process_worker_main,
+            args=(task_q, self._result_q, self.task_retries),
+            name=f"carp-exec-{worker}",
+            daemon=True,
+        )
+        self._task_qs[worker] = task_q
+        self._procs[worker] = proc
+        proc.start()
+        self.retries_done += 1
+        for tid in sorted(self._pending):
+            if tid in self._drain_done:
+                continue
+            shard, fn, args = self._pending[tid]
+            if worker_of(shard, self.workers) == worker:
+                task_q.put((tid, shard, fn, args))
 
     def _shutdown(self) -> None:
         for task_q in self._task_qs:

@@ -26,6 +26,7 @@ from repro.core.config import CarpOptions
 from repro.core.records import RecordBatch
 from repro.exec.api import Executor
 from repro.exec.work import KoiDBApplyResult, KoiDBCommand, koidb_apply
+from repro.faults.plan import FaultPlan, FaultSpec
 from repro.obs import NULL_OBS, Obs, SpanRecord
 from repro.storage.koidb import KoiDBStats
 
@@ -84,12 +85,20 @@ class KoiDBShardClient:
         options: CarpOptions,
         nreceivers: int,
         obs: Obs | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self._executor = executor
         self._directory = str(directory)
         self._options = options
         self._obs = obs if obs is not None else NULL_OBS
         self._record_obs = self._obs.enabled
+        # rank-scoped fault specs ride along on every koidb_apply call;
+        # the worker-side injector advances with the rank's command
+        # stream, which is identical across backends
+        self._fault_specs: list[tuple[FaultSpec, ...]] = [
+            faults.specs_for_rank(r) if faults is not None else ()
+            for r in range(nreceivers)
+        ]
         self.proxies = [KoiDBProxy(r, self) for r in range(nreceivers)]
         self._buffers: list[list[KoiDBCommand]] = [[] for _ in range(nreceivers)]
         self._buffered_records = [0] * nreceivers
@@ -124,6 +133,7 @@ class KoiDBShardClient:
             self._options,
             self._record_obs,
             commands,
+            self._fault_specs[rank],
         )
 
     # ---------------------------------------------------------- barriers

@@ -27,6 +27,8 @@ import numpy as np
 
 from repro.core.config import CarpOptions
 from repro.core.records import RecordBatch, range_mask
+from repro.exec.api import WorkerCrashError
+from repro.faults.plan import SITE_TASK, FaultInjector, FaultSpec
 from repro.obs import NULL_OBS, Obs, SpanRecord, snapshot_delta
 from repro.storage.koidb import KoiDB, KoiDBStats
 from repro.storage.log import LogReader
@@ -61,6 +63,7 @@ def koidb_apply(
     options: CarpOptions,
     record_obs: bool,
     commands: list[KoiDBCommand],
+    fault_specs: tuple[FaultSpec, ...] = (),
 ) -> KoiDBApplyResult:
     """Replay a batch of KoiDB commands on the shard owning ``rank``.
 
@@ -70,15 +73,30 @@ def koidb_apply(
     append stream.  Returns a copy of the cumulative ``KoiDBStats``,
     the log offset, and the metrics and trace spans recorded since the
     previous call (the spans on the rank's local virtual timeline).
+
+    ``fault_specs`` arms this rank's fault sites.  The ``exec.task``
+    site is checked once per call, *before* any command is applied —
+    so a crash here leaves shard state untouched and an executor-level
+    retry replays the exact same call idempotently.  Storage-site specs
+    ride into the KoiDB on first open.
     """
     db: KoiDB | None = state.get("koidb")
+    if fault_specs and "task_injector" not in state:
+        state["task_injector"] = FaultInjector(fault_specs)
+    task_injector: FaultInjector | None = state.get("task_injector")
+    if task_injector is not None:
+        spec = task_injector.check(SITE_TASK)
+        if spec is not None:
+            raise WorkerCrashError(
+                f"injected worker crash at task {spec.index} for rank {rank}"
+            )
     if db is None:
         if state.get("closed"):
             # re-opening would truncate the rank log a closed KoiDB
             # already finalized
             raise RuntimeError(f"KoiDB for rank {rank} was already closed")
         obs = Obs.deltas() if record_obs else NULL_OBS
-        db = KoiDB(rank, Path(directory), options, obs=obs)
+        db = KoiDB(rank, Path(directory), options, obs=obs, faults=fault_specs)
         state["koidb"] = db
         state["obs"] = obs
         state["prev_snapshot"] = obs.metrics.snapshot()

@@ -41,9 +41,15 @@ class DelayQueue:
         if delay_rounds < 0:
             raise ValueError("delay_rounds must be >= 0")
         self.delay_rounds = delay_rounds
+        # slot i (from the front) arrives after i ticks; a normal send
+        # lands at index ``delay_rounds``, a fault-delayed one further
+        # back (slots extend lazily)
         self._slots: deque[list[ShuffleMessage]] = deque(
             [[] for _ in range(delay_rounds + 1)]
         )
+        # fault-dropped messages: withheld from every tick, retransmitted
+        # only by the epoch-end drain, so delivery is late but never lost
+        self._dropped: list[ShuffleMessage] = []
         self._in_flight_records = 0
 
     @property
@@ -51,19 +57,45 @@ class DelayQueue:
         """Number of records currently traversing the fabric."""
         return self._in_flight_records
 
-    def send(self, dest: int, batch: RecordBatch, table_version: int) -> None:
-        """Dispatch a batch toward ``dest`` under ``table_version``."""
+    def _slot(self, index: int) -> list[ShuffleMessage]:
+        while len(self._slots) <= index:
+            self._slots.append([])
+        return self._slots[index]
+
+    def send(
+        self,
+        dest: int,
+        batch: RecordBatch,
+        table_version: int,
+        extra_delay: int = 0,
+        drop: bool = False,
+    ) -> None:
+        """Dispatch a batch toward ``dest`` under ``table_version``.
+
+        ``extra_delay`` holds the message that many rounds beyond the
+        fabric's base delay; ``drop=True`` withholds it from every tick
+        entirely (delivered only by :meth:`drain` — the fault model is
+        a lost-then-retransmitted send, never silent data loss).  Both
+        are the ``shuffle.send`` fault-site hooks.
+        """
         if len(batch) == 0:
             return
         if dest < 0:
             raise ValueError(f"invalid destination {dest}")
-        self._slots[-1].append(ShuffleMessage(dest, batch, table_version))
+        if extra_delay < 0:
+            raise ValueError("extra_delay must be >= 0")
+        message = ShuffleMessage(dest, batch, table_version)
+        if drop:
+            self._dropped.append(message)
+        else:
+            self._slot(self.delay_rounds + extra_delay).append(message)
         self._in_flight_records += len(batch)
 
     def tick(self) -> list[ShuffleMessage]:
         """Advance one round; return the messages that arrive now."""
         arrived = self._slots.popleft()
-        self._slots.append([])
+        if len(self._slots) <= self.delay_rounds:
+            self._slots.append([])
         self._in_flight_records -= sum(len(m.batch) for m in arrived)
         return arrived
 
@@ -72,11 +104,14 @@ class DelayQueue:
 
         Used at epoch end, where CARP flushes all data to disk to align
         with the application's checkpoint fault-tolerance semantics
-        (paper §V-A).
+        (paper §V-A).  Dropped messages are retransmitted here, after
+        all regular traffic.
         """
         arrived: list[ShuffleMessage] = []
         for slot in self._slots:
             arrived.extend(slot)
             slot.clear()
+        arrived.extend(self._dropped)
+        self._dropped.clear()
         self._in_flight_records = 0
         return arrived

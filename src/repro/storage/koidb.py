@@ -19,6 +19,7 @@ query-performance optimizations from the paper are implemented:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -26,9 +27,11 @@ import numpy as np
 
 from repro.core.config import CarpOptions
 from repro.core.records import RecordBatch
+from repro.faults.plan import FaultInjector, FaultSpec
 from repro.obs import NULL_OBS, RECORD_TICK, Obs
 from repro.storage.log import LogWriter, log_name
 from repro.storage.memtable import DoubleBuffer
+from repro.storage.recovery import RepairAction
 
 
 @dataclass
@@ -52,7 +55,13 @@ class KoiDBStats:
 
 
 class KoiDB:
-    """Per-rank storage backend instance."""
+    """Per-rank storage backend instance.
+
+    ``faults=`` arms the ``storage.*`` fault sites for this rank (see
+    :mod:`repro.faults`); ``recover=True`` re-opens an existing log at
+    its commit point after a crash instead of truncating it, with the
+    repair outcome exposed as :attr:`recovery`.
+    """
 
     def __init__(
         self,
@@ -60,18 +69,31 @@ class KoiDB:
         directory: Path | str,
         options: CarpOptions,
         obs: Obs | None = None,
+        faults: Sequence[FaultSpec] | None = None,
+        recover: bool = False,
     ) -> None:
         self.rank = rank
         self.options = options
         self.directory = Path(directory)
-        self.log = LogWriter(self.directory / log_name(rank))
+        obs_resolved = obs if obs is not None else NULL_OBS
+        injector = (
+            FaultInjector(faults, obs=obs_resolved) if faults else None
+        )
+        self.injector = injector
+        self.log = LogWriter(
+            self.directory / log_name(rank),
+            recover=recover,
+            injector=injector,
+        )
+        #: Repair outcome when ``recover=True`` met an existing log.
+        self.recovery: RepairAction | None = self.log.recovery
         self._main = DoubleBuffer(options.memtable_records, options.value_size)
         self._stray = DoubleBuffer(options.memtable_records, options.value_size)
         self._owned: tuple[float, float] | None = None
         self._owned_inclusive_hi = False
         self._epoch: int | None = None
         self.stats = KoiDBStats()
-        self.obs = obs if obs is not None else NULL_OBS
+        self.obs = obs_resolved
         self._obs_on = self.obs.enabled
         self._tr_flush = self.obs.track("flush", f"rank {rank}")
         metrics = self.obs.metrics
@@ -92,6 +114,27 @@ class KoiDB:
         )
         self._g_occupancy = metrics.gauge(
             f"koidb.memtable_occupancy.r{rank}"
+        )
+
+    @classmethod
+    def open(
+        cls,
+        rank: int,
+        directory: Path | str,
+        options: CarpOptions,
+        obs: Obs | None = None,
+        recover: bool = True,
+        faults: Sequence[FaultSpec] | None = None,
+    ) -> "KoiDB":
+        """Re-open a rank's log after a crash (paper §V-A recovery).
+
+        The log is repaired first — torn tail quarantined, file
+        truncated back to the newest valid footer — then opened for
+        appending, so the next ``begin_epoch`` continues on top of the
+        surviving committed prefix.
+        """
+        return cls(
+            rank, directory, options, obs=obs, faults=faults, recover=recover
         )
 
     # ------------------------------------------------------------- epochs

@@ -18,17 +18,28 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.records import RecordBatch
+from repro.faults.plan import (
+    ACTION_CRASH,
+    SITE_MANIFEST_WRITE,
+    SITE_SST_WRITE,
+    FaultInjector,
+    InjectedCrashError,
+)
 from repro.storage.blocks import key_block_size
 from repro.storage.manifest import (
-    BLOCK_HDR_SIZE,
     FOOTER_SIZE,
+    ManifestCorruptionError,
     ManifestEntry,
     ManifestError,
     decode_footer,
-    decode_manifest_block,
     encode_footer,
     encode_manifest_block,
-    manifest_block_size,
+)
+from repro.storage.recovery import (
+    RepairAction,
+    find_committed_state,
+    repair_log,
+    walk_manifest_chain,
 )
 from repro.storage.sstable import (
     HEADER_SIZE,
@@ -61,16 +72,65 @@ def list_logs(directory: Path | str) -> list[Path]:
     return logs
 
 
-class LogWriter:
-    """Appends SSTables and per-epoch manifests to one log file."""
+#: Subdirectory (next to the logs) where recovery quarantines damage.
+QUARANTINE_DIR = "quarantine"
 
-    def __init__(self, path: Path | str) -> None:
+
+class LogWriter:
+    """Appends SSTables and per-epoch manifests to one log file.
+
+    ``recover=True`` re-opens an existing log for appending instead of
+    truncating it: the file is first repaired (torn tail quarantined,
+    see :mod:`repro.storage.recovery`), then opened at its commit
+    point with the manifest chain re-linked, so new epochs append onto
+    the surviving committed prefix.  The outcome of that repair is
+    exposed as :attr:`recovery`.
+
+    ``injector=`` hosts the ``storage.sst_write`` and
+    ``storage.manifest_write`` fault sites: a planned crash writes a
+    prefix of the payload, flushes it, and raises
+    :class:`~repro.faults.InjectedCrashError` — exactly the bytes a
+    process killed mid-``write`` would leave behind.  A crashed writer
+    refuses all further appends (``close`` stays legal).
+    """
+
+    def __init__(
+        self,
+        path: Path | str,
+        recover: bool = False,
+        injector: FaultInjector | None = None,
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = open(self.path, "wb")
+        self._injector = injector
+        self._crashed = False
         self._offset = 0
         self._pending: list[ManifestEntry] = []
         self._last_manifest_offset: int | None = None
+        self.recovery: RepairAction | None = None
+        if recover and self.path.exists():
+            self.recovery = repair_log(
+                self.path, self.path.parent / QUARANTINE_DIR
+            )
+        if recover and self.path.exists():
+            size = os.path.getsize(self.path)
+            if size < FOOTER_SIZE:
+                raise ManifestCorruptionError(
+                    self.path,
+                    f"repaired log still too small ({size} bytes)",
+                    offset=0,
+                )
+            self._fh = open(self.path, "r+b")
+            self._fh.seek(size - FOOTER_SIZE)
+            self._last_manifest_offset = decode_footer(
+                self._fh.read(FOOTER_SIZE)
+            )
+            self._fh.seek(size)
+            self._offset = size
+        else:
+            # fresh log (also the recover case where the whole file was
+            # quarantined: nothing was committed, start over)
+            self._fh = open(self.path, "wb")
 
     @property
     def offset(self) -> int:
@@ -79,6 +139,27 @@ class LogWriter:
     @property
     def pending_entries(self) -> int:
         return len(self._pending)
+
+    def _write_payload(self, site: str, payload: bytes) -> None:
+        """Append ``payload``, honouring any planned crash at ``site``."""
+        if self._crashed:
+            raise RuntimeError(
+                f"{self.path.name}: log writer already crashed; "
+                "no further appends"
+            )
+        spec = None if self._injector is None else self._injector.check(site)
+        if spec is not None and spec.action == ACTION_CRASH:
+            cut = int(len(payload) * min(max(spec.arg, 0.0), 1.0))
+            self._fh.write(payload[:cut])
+            self._fh.flush()
+            self._offset += cut
+            self._crashed = True
+            raise InjectedCrashError(
+                site, spec.rank, spec.index,
+                f"wrote {cut} of {len(payload)} bytes to {self.path.name}",
+            )
+        self._fh.write(payload)
+        self._offset += len(payload)
 
     def append_batch(
         self,
@@ -100,8 +181,7 @@ class LogWriter:
             flags=info.flags,
             sub_id=sub_id,
         )
-        self._fh.write(data)
-        self._offset += len(data)
+        self._write_payload(SITE_SST_WRITE, data)
         self._pending.append(entry)
         return entry
 
@@ -112,13 +192,17 @@ class LogWriter:
         CARP's durability with the application's epoch semantics).
         Writing an empty manifest is legal — it still advances the
         footer so the log parses cleanly.
+
+        The manifest block and its footer are one write payload, so an
+        injected ``storage.manifest_write`` crash can tear anywhere
+        across them — recovery must cope with a complete block whose
+        footer never landed.
         """
         block = encode_manifest_block(self._pending, epoch, self._last_manifest_offset)
         block_offset = self._offset
-        self._fh.write(block)
-        self._offset += len(block)
-        self._fh.write(encode_footer(block_offset))
-        self._offset += FOOTER_SIZE
+        self._write_payload(
+            SITE_MANIFEST_WRITE, block + encode_footer(block_offset)
+        )
         self._fh.flush()
         self._last_manifest_offset = block_offset
         self._pending = []
@@ -155,65 +239,31 @@ class LogReader:
         #: Number of distinct read requests issued (proxy for seeks).
         self.read_requests = 0
 
-    def _find_last_valid_footer(self) -> int:
-        """Scan backwards for the newest parseable footer.
-
-        Returns the manifest offset it points at; raises
-        :class:`ManifestError` when no valid footer exists anywhere.
-        """
-        from repro.storage.manifest import FOOTER_MAGIC
-
-        window = min(self._size, 4 * 1024 * 1024)
-        self._fh.seek(self._size - window)
-        blob = self._fh.read(window)
-        pos = len(blob)
-        while True:
-            pos = blob.rfind(FOOTER_MAGIC, 0, pos)
-            if pos < 0:
-                raise ManifestError(f"{self.path}: no valid footer found")
-            candidate = blob[pos : pos + FOOTER_SIZE]
-            if len(candidate) == FOOTER_SIZE:
-                try:
-                    offset = decode_footer(candidate)
-                except ManifestError:
-                    continue
-                footer_end = self._size - window + pos + FOOTER_SIZE
-                self.recovered_bytes_dropped = self._size - footer_end
-                return offset
-
     def _load_entries(self, recover: bool) -> list[ManifestEntry]:
         if self._size < FOOTER_SIZE:
-            raise ManifestError(f"{self.path}: too small to hold a footer")
+            raise ManifestCorruptionError(
+                self.path,
+                f"too small to hold a footer ({self._size} bytes)",
+                offset=0,
+            )
+        if recover:
+            state = find_committed_state(self._fh, self._size, self.path)
+            if state is None:
+                raise ManifestCorruptionError(
+                    self.path, "no valid footer found", offset=0
+                )
+            self.recovered_bytes_dropped = self._size - state.footer_end
+            return list(state.entries)
         self._fh.seek(self._size - FOOTER_SIZE)
         try:
             offset = decode_footer(self._fh.read(FOOTER_SIZE))
-        except ManifestError:
-            if not recover:
-                raise
-            offset = self._find_last_valid_footer()
-        chain: list[list[ManifestEntry]] = []
-        seen: set[int] = set()
-        cur: int | None = offset
-        while cur is not None:
-            if cur in seen or cur >= self._size:
-                raise ManifestError(f"{self.path}: corrupt manifest chain")
-            seen.add(cur)
-            self._fh.seek(cur)
-            # read the fixed header first to learn the entry count, then
-            # the exact remaining block bytes
-            head = self._fh.read(BLOCK_HDR_SIZE)
-            if len(head) < BLOCK_HDR_SIZE:
-                raise ManifestError(f"{self.path}: truncated manifest block")
-            n = int.from_bytes(head[-4:], "little")
-            rest = self._fh.read(manifest_block_size(n) - BLOCK_HDR_SIZE)
-            entries, prev, _epoch = decode_manifest_block(head + rest)
-            chain.append(entries)
-            cur = prev
-        # chain was walked newest-first; restore append order
-        out: list[ManifestEntry] = []
-        for entries in reversed(chain):
-            out.extend(entries)
-        return out
+        except ManifestCorruptionError:
+            raise
+        except ManifestError as exc:
+            raise ManifestCorruptionError(
+                self.path, str(exc), offset=self._size - FOOTER_SIZE
+            ) from exc
+        return walk_manifest_chain(self._fh, self._size, offset, self.path)
 
     @property
     def entries(self) -> list[ManifestEntry]:

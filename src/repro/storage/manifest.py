@@ -42,6 +42,34 @@ class ManifestError(Exception):
     """The manifest chain or footer is malformed."""
 
 
+class ManifestCorruptionError(ManifestError):
+    """A torn or corrupt manifest structure, with location context.
+
+    Carries the log file, the index of the manifest block within the
+    backward chain walk (0 = newest), and the byte offset of the bad
+    structure — the coordinates ``fsck`` and the recovery scanner need
+    to classify and repair the damage instead of merely reporting it.
+    """
+
+    def __init__(
+        self,
+        path: object,
+        detail: str,
+        entry_index: int | None = None,
+        offset: int | None = None,
+    ) -> None:
+        self.path = str(path)
+        self.detail = detail
+        self.entry_index = entry_index
+        self.offset = offset
+        loc = self.path
+        if offset is not None:
+            loc += f"@{offset}"
+        if entry_index is not None:
+            loc += f" (chain block {entry_index})"
+        super().__init__(f"{loc}: {detail}")
+
+
 @dataclass(frozen=True)
 class ManifestEntry:
     """Location and key range of one SSTable within its log."""

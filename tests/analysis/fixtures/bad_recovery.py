@@ -1,0 +1,21 @@
+"""Fixture: every R-family rule must fire on this file."""
+
+import os
+import shutil
+from pathlib import Path
+
+
+def drop_log(path):
+    os.remove(path)  # R701
+    os.unlink(path)  # R701
+    os.rmdir(os.path.dirname(path))  # R701
+
+
+def clear_directory(directory: Path):
+    shutil.rmtree(directory)  # R701
+    (directory / "log.bin").unlink()  # R701
+
+
+def quarantine_orphan(path: Path):
+    # sanctioned: quarantine helpers may remove what they relocated
+    path.unlink()

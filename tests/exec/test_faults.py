@@ -1,0 +1,274 @@
+"""Fault injection across executor backends.
+
+Two contracts under test:
+
+* **fault determinism** — the same :class:`FaultPlan` produces
+  bit-identical logs, metrics, and query results on every backend
+  (serial / thread / process), whether the faults are benign (shuffle
+  delay/drop), retried away (task crashes under a retry budget), or
+  fatal (storage tears, where the *recovered* logs must agree);
+* **bounded retry** — crash retries preserve sticky shard state and
+  per-shard ordering, and exhaust into :class:`WorkerCrashError`.
+
+Task functions live at module level so :class:`ProcessExecutor` can
+pickle them by reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.api import Session
+from repro.core.config import CarpOptions
+from repro.exec import (
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkerCrashError,
+)
+from repro.faults.plan import (
+    ACTION_DELAY,
+    ACTION_DROP,
+    SITE_MANIFEST_WRITE,
+    SITE_SHUFFLE_SEND,
+    SITE_TASK,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrashError,
+)
+from repro.obs import Obs
+from repro.storage.fsck import fsck
+from repro.storage.log import list_logs
+from repro.traces.vpic import VpicTraceSpec, generate_timestep
+
+OPTIONS = CarpOptions(
+    pivot_count=16,
+    oob_capacity=32,
+    renegotiations_per_epoch=2,
+    memtable_records=128,
+    round_records=128,
+    value_size=8,
+    shuffle_delay_rounds=1,
+)
+
+EPOCHS = 2
+NRANKS = 4
+
+BACKENDS = {
+    "serial": lambda retries: SerialExecutor(task_retries=retries),
+    "thread": lambda retries: ThreadExecutor(2, task_retries=retries),
+    "process": lambda retries: ProcessExecutor(2, task_retries=retries),
+}
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _streams(epoch: int):
+    spec = VpicTraceSpec(
+        nranks=NRANKS, particles_per_rank=300, value_size=8, seed=7
+    )
+    return generate_timestep(spec, epoch)
+
+
+def _run_session(out_dir, make_exec, plan):
+    """One faulted ingest+query pipeline; returns comparable outcomes."""
+    obs = Obs.recording()
+    crashed = None
+    executor = make_exec()
+    session = Session(
+        NRANKS, out_dir, OPTIONS, obs=obs, executor=executor, faults=plan
+    )
+    try:
+        for epoch in range(EPOCHS):
+            session.ingest_epoch(epoch, _streams(epoch))
+        queries = []
+        for epoch in range(EPOCHS):
+            res = session.query(epoch, 0.25, 4.0)
+            queries.append(
+                (_digest(res.keys.tobytes()), _digest(res.rids.tobytes()))
+            )
+    except (InjectedCrashError, ExecutorError) as exc:
+        crashed = repr(exc)
+        queries = None
+    finally:
+        try:
+            session.close()
+        except (InjectedCrashError, ExecutorError):
+            crashed = crashed or "close"
+        executor.close()
+    return {
+        "crashed": crashed is not None,
+        "queries": queries,
+        "logs": {p.name: _digest(p.read_bytes()) for p in list_logs(out_dir)},
+        "metrics": json.dumps(obs.metrics.snapshot(), sort_keys=True),
+        "retries": executor.retries_done,
+    }
+
+
+def _assert_identical(outcomes, fields):
+    baseline_name, baseline = next(iter(outcomes.items()))
+    for name, outcome in outcomes.items():
+        for field in fields:
+            assert outcome[field] == baseline[field], (
+                f"{field} diverged: {name} vs {baseline_name}"
+            )
+
+
+def test_shuffle_faults_identical_everywhere(tmp_path_factory):
+    """Delay/drop faults are lossless and fire identically on every
+    backend — logs, metrics.json, and queries all match."""
+    plan = FaultPlan(
+        seed=0,
+        specs=(
+            FaultSpec(SITE_SHUFFLE_SEND, 0, 3, 2.0, ACTION_DELAY),
+            FaultSpec(SITE_SHUFFLE_SEND, 0, 7, 0.0, ACTION_DROP),
+            FaultSpec(SITE_SHUFFLE_SEND, 0, 11, 3.0, ACTION_DELAY),
+        ),
+    )
+    outcomes = {}
+    for name, make_exec in BACKENDS.items():
+        out = tmp_path_factory.mktemp(f"shuf_{name}")
+        outcomes[name] = _run_session(out, lambda: make_exec(0), plan)
+    assert not any(o["crashed"] for o in outcomes.values())
+    assert all(o["logs"] for o in outcomes.values())
+    _assert_identical(outcomes, ("crashed", "logs", "queries", "metrics"))
+
+
+def test_shuffle_faults_change_nothing_durable(tmp_path_factory):
+    """Dropped sends are retransmitted at the epoch drain: the logs
+    differ from a fault-free run only in SST grouping, never records."""
+    plan = FaultPlan(
+        seed=0, specs=(FaultSpec(SITE_SHUFFLE_SEND, 0, 2, 0.0, ACTION_DROP),)
+    )
+    faulted = _run_session(
+        tmp_path_factory.mktemp("drop_faulted"),
+        lambda: SerialExecutor(),
+        plan,
+    )
+    clean = _run_session(
+        tmp_path_factory.mktemp("drop_clean"), lambda: SerialExecutor(), None
+    )
+    # same queryable contents even though delivery timing changed
+    assert faulted["queries"] == clean["queries"]
+
+
+def test_task_crashes_retried_away_identically(tmp_path_factory):
+    """Planned worker crashes under a retry budget: parallel backends
+    retry in-place (sticky shard state intact) and converge on the
+    serial run's exact logs and query results."""
+    plan = FaultPlan(
+        seed=0,
+        specs=(
+            FaultSpec(SITE_TASK, 1, 0),
+            FaultSpec(SITE_TASK, 2, 2),
+        ),
+    )
+    outcomes = {}
+    for name, make_exec in BACKENDS.items():
+        out = tmp_path_factory.mktemp(f"task_{name}")
+        outcomes[name] = _run_session(out, lambda: make_exec(3), plan)
+    assert not any(o["crashed"] for o in outcomes.values())
+    _assert_identical(outcomes, ("crashed", "logs", "queries"))
+    # serial runs never dispatch koidb_apply, so the task site never
+    # fires there; the pools must have actually exercised the retry path
+    assert outcomes["serial"]["retries"] == 0
+    assert outcomes["thread"]["retries"] > 0
+    assert outcomes["process"]["retries"] > 0
+
+
+def test_storage_crash_recovers_identically(tmp_path_factory):
+    """A torn manifest write kills every backend at the same epoch;
+    after ``fsck --repair`` the recovered logs are bit-identical."""
+    plan = FaultPlan(
+        seed=0, specs=(FaultSpec(SITE_MANIFEST_WRITE, 1, 1, arg=0.5),)
+    )
+    recovered = {}
+    for name, make_exec in BACKENDS.items():
+        out = tmp_path_factory.mktemp(f"crash_{name}")
+        outcome = _run_session(out, lambda: make_exec(3), plan)
+        assert outcome["crashed"], name
+        report = fsck(out, deep=True, repair=True)
+        assert report.ok, (name, report.errors)
+        recovered[name] = {
+            p.name: _digest(p.read_bytes()) for p in list_logs(out)
+        }
+    assert recovered["thread"] == recovered["serial"]
+    assert recovered["process"] == recovered["serial"]
+    # epoch 0 committed everywhere before the epoch-1 tear
+    assert len(recovered["serial"]) == NRANKS
+
+
+# --------------------------------------------------- raw executor retry
+
+
+def flaky_task(state, fail_times):
+    state["calls"] = state.get("calls", 0) + 1
+    if state["calls"] <= fail_times:
+        raise WorkerCrashError(f"planned crash {state['calls']}")
+    return ("ok", state["calls"])
+
+
+def always_crash_task(state):
+    raise WorkerCrashError("always")
+
+
+def flag_exit_task(state, flag_path):
+    # first attempt: leave a marker and die for real; the respawned
+    # worker's resubmission sees the marker and succeeds
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w") as fh:
+            fh.write("died")
+        os._exit(11)
+    return "revived"
+
+
+@pytest.mark.parametrize("name", sorted(BACKENDS))
+def test_retry_rescues_within_budget(name):
+    executor = BACKENDS[name](2)
+    try:
+        executor.submit(0, flaky_task, 2)
+        assert executor.drain() == [("ok", 3)]
+        assert executor.retries_done == 2
+    finally:
+        executor.close()
+
+
+@pytest.mark.parametrize("name", sorted(BACKENDS))
+def test_retry_exhaustion_raises_worker_crash(name):
+    executor = BACKENDS[name](1)
+    try:
+        executor.submit(0, always_crash_task)
+        with pytest.raises(WorkerCrashError, match="after 1"):
+            executor.drain()
+    finally:
+        executor.close()
+
+
+@pytest.mark.parametrize("name", sorted(BACKENDS))
+def test_zero_budget_fails_fast(name):
+    executor = BACKENDS[name](0)
+    try:
+        executor.submit(0, flaky_task, 1)
+        with pytest.raises(WorkerCrashError):
+            executor.drain()
+        assert executor.retries_done == 0
+    finally:
+        executor.close()
+
+
+def test_process_executor_respawns_dead_worker(tmp_path):
+    flag = str(tmp_path / "died.flag")
+    executor = ProcessExecutor(2, task_retries=2)
+    try:
+        executor.submit(0, flag_exit_task, flag)
+        assert executor.drain() == ["revived"]
+        assert executor.retries_done >= 1
+    finally:
+        executor.close()

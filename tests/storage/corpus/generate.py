@@ -1,0 +1,143 @@
+"""Generator for the golden corrupted-log corpus.
+
+Builds one clean two-epoch KoiDB log deterministically, then derives
+~a dozen hand-broken variants — one per damage class the recovery
+scanner (:mod:`repro.storage.recovery`) must diagnose.  Each case is a
+``<name>.bin`` file next to this script plus an entry in
+``expected.json`` recording the expected classification and the epochs
+that must survive recovery.
+
+Regenerate (idempotent — same bytes every run)::
+
+    PYTHONPATH=src python tests/storage/corpus/generate.py
+
+``tests/storage/test_corpus.py`` parametrizes over ``expected.json``
+and also re-runs this builder to prove the checked-in bytes match.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.records import RecordBatch
+from repro.storage.log import LogWriter
+from repro.storage.manifest import FOOTER_SIZE
+from repro.storage.recovery import (
+    KIND_CLEAN,
+    KIND_CORRUPT_SST,
+    KIND_EMPTY,
+    KIND_NO_FOOTER,
+    KIND_ORPHAN_SST,
+    KIND_TORN_FOOTER,
+    KIND_TORN_MANIFEST,
+    KIND_TORN_TAIL,
+)
+
+CORPUS_DIR = Path(__file__).parent
+EXPECTED_FILE = CORPUS_DIR / "expected.json"
+
+
+def _flip(data: bytes, offset: int) -> bytes:
+    return data[:offset] + bytes([data[offset] ^ 0xFF]) + data[offset + 1 :]
+
+
+def build_cases(tmp_dir: Path) -> dict[str, tuple[bytes, dict[str, object]]]:
+    """All corpus cases: name -> (log bytes, expected classification)."""
+    # --- one clean 2-epoch log, with every structure offset recorded
+    log_path = tmp_dir / "clean.tbl"
+    rng = np.random.default_rng(12345)
+    ssts: dict[int, list[tuple[int, int]]] = {0: [], 1: []}
+    manifests: dict[int, tuple[int, int]] = {}
+    with LogWriter(log_path) as writer:
+        for epoch in range(2):
+            for sub in range(2):
+                batch = RecordBatch.from_keys(
+                    rng.uniform(0.0, 1.0, 64).astype(np.float32),
+                    rank=0,
+                    start_seq=epoch * 1000 + sub * 100,
+                    value_size=8,
+                )
+                entry = writer.append_batch(batch, epoch)
+                ssts[epoch].append((entry.offset, entry.length))
+            start = writer.offset
+            writer.flush_epoch(epoch)
+            manifests[epoch] = (start, writer.offset)
+    data = log_path.read_bytes()
+
+    epoch0_end = manifests[0][1]  # commit point of epoch 0
+    m1_start, m1_end = manifests[1]
+    sst1_first = ssts[1][0]
+
+    def expect(kind: str, epochs: list[int]) -> dict[str, object]:
+        return {"kind": kind, "committed_epochs": epochs}
+
+    return {
+        "clean": (data, expect(KIND_CLEAN, [0, 1])),
+        "empty": (b"", expect(KIND_EMPTY, [])),
+        # cut before the first manifest: SSTs only, nothing committed
+        "no-footer": (
+            data[: manifests[0][0]], expect(KIND_NO_FOOTER, [])
+        ),
+        # epoch 1's first SST torn mid-write
+        "torn-sst": (
+            data[: sst1_first[0] + sst1_first[1] // 2],
+            expect(KIND_TORN_TAIL, [0]),
+        ),
+        # both epoch-1 SSTs complete, but the committing manifest never
+        # started
+        "orphan-sst": (data[:m1_start], expect(KIND_ORPHAN_SST, [0])),
+        # epoch-1 manifest block header torn after 6 bytes
+        "torn-manifest-header": (
+            data[: m1_start + 6], expect(KIND_TORN_MANIFEST, [0])
+        ),
+        # epoch-1 manifest block body torn (footer never written)
+        "torn-manifest-body": (
+            data[: m1_end - FOOTER_SIZE - 4],
+            expect(KIND_TORN_MANIFEST, [0]),
+        ),
+        # complete manifest block, footer half-written
+        "torn-footer": (
+            data[: m1_end - FOOTER_SIZE // 2],
+            expect(KIND_TORN_FOOTER, [0]),
+        ),
+        # complete manifest block, footer present but bit-flipped
+        "corrupt-footer": (
+            _flip(data, len(data) - 1), expect(KIND_TORN_FOOTER, [0])
+        ),
+        # fully committed log with garbage appended after the footer
+        "garbage-tail": (
+            data + b"\xde\xad\xbe\xef" * 8, expect(KIND_TORN_TAIL, [0, 1])
+        ),
+        # a bit flip inside the epoch-1 manifest block: its own footer
+        # CRC-decodes but the chain fails, so recovery must fall back
+        # to epoch 0's footer
+        "bitflip-manifest": (
+            _flip(data, m1_start + 20), expect(KIND_TORN_MANIFEST, [0])
+        ),
+        # a bit flip inside a *committed* SST: outside the single-crash
+        # model — diagnosed (deep) but never "repaired"
+        "corrupt-committed-sst": (
+            _flip(data, ssts[0][0][0] + 40),
+            expect(KIND_CORRUPT_SST, [0, 1]),
+        ),
+    }
+
+
+def main() -> None:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cases = build_cases(Path(tmp))
+    expected: dict[str, dict[str, object]] = {}
+    for name, (blob, meta) in sorted(cases.items()):
+        (CORPUS_DIR / f"{name}.bin").write_bytes(blob)
+        expected[name] = meta
+    EXPECTED_FILE.write_text(json.dumps(expected, indent=2) + "\n")
+    print(f"wrote {len(cases)} corpus cases to {CORPUS_DIR}")
+
+
+if __name__ == "__main__":
+    main()

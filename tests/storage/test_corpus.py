@@ -1,0 +1,135 @@
+"""Golden corrupted-log corpus: classification, repair, no byte loss.
+
+Each ``tests/storage/corpus/<name>.bin`` is one hand-broken KoiDB log
+(see ``generate.py`` there); ``expected.json`` records the damage
+class the recovery scanner must diagnose and the epochs that must
+survive.  Repair is additionally held to the R701 discipline: every
+byte it takes out of a log must land in ``quarantine/``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.storage.fsck import fsck
+from repro.storage.log import QUARANTINE_DIR, LogReader, log_name
+from repro.storage.manifest import ManifestCorruptionError
+from repro.storage.recovery import (
+    KIND_CLEAN,
+    KIND_CORRUPT_SST,
+    classify_log,
+    repair_log,
+)
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+EXPECTED = json.loads((CORPUS_DIR / "expected.json").read_text())
+CASES = sorted(EXPECTED)
+
+
+def _install(tmp_path: Path, name: str) -> Path:
+    target = tmp_path / log_name(0)
+    target.write_bytes((CORPUS_DIR / f"{name}.bin").read_bytes())
+    return target
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_classification(tmp_path, name):
+    path = _install(tmp_path, name)
+    diag = classify_log(path, deep=True)
+    assert diag.kind == EXPECTED[name]["kind"]
+    assert list(diag.committed_epochs) == EXPECTED[name]["committed_epochs"]
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_repair_preserves_every_byte(tmp_path, name):
+    path = _install(tmp_path, name)
+    original = path.read_bytes()
+    quarantine = tmp_path / QUARANTINE_DIR
+    action = repair_log(path, quarantine, deep=True)
+    assert action.kind == EXPECTED[name]["kind"]
+
+    if action.removed:
+        # the whole file moved aside; its bytes are intact in quarantine
+        assert not path.exists()
+        assert Path(action.quarantine_path).read_bytes() == original
+        return
+    if action.quarantined_bytes:
+        kept = path.read_bytes()
+        tail = Path(action.quarantine_path).read_bytes()
+        assert kept + tail == original
+        assert len(tail) == action.quarantined_bytes
+    else:
+        # clean or corrupt-committed-sst: repair must not touch the file
+        assert path.read_bytes() == original
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_repaired_log_is_consistent(tmp_path, name):
+    path = _install(tmp_path, name)
+    action = repair_log(path, tmp_path / QUARANTINE_DIR, deep=True)
+    if action.removed:
+        return
+    diag = classify_log(path, deep=True)
+    if EXPECTED[name]["kind"] == KIND_CORRUPT_SST:
+        assert diag.kind == KIND_CORRUPT_SST  # inside the durable prefix
+        return
+    assert diag.kind == KIND_CLEAN
+    with LogReader(path) as reader:
+        epochs = sorted({e.epoch for e in reader.entries})
+    assert epochs == EXPECTED[name]["committed_epochs"]
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_reader_recover_matches_expected_epochs(tmp_path, name):
+    path = _install(tmp_path, name)
+    committed = EXPECTED[name]["committed_epochs"]
+    if not committed:
+        with pytest.raises(ManifestCorruptionError):
+            LogReader(path, recover=True)
+        return
+    with LogReader(path, recover=True) as reader:
+        assert sorted({e.epoch for e in reader.entries}) == committed
+        if EXPECTED[name]["kind"] in (KIND_CLEAN, KIND_CORRUPT_SST):
+            # damage (if any) is inside the committed prefix; the
+            # commit point is still end-of-file
+            assert reader.recovered_bytes_dropped == 0
+        else:
+            assert reader.recovered_bytes_dropped > 0
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_fsck_repair_round_trip(tmp_path, name):
+    _install(tmp_path, name)
+    report = fsck(tmp_path, deep=True, repair=True)
+    committed = EXPECTED[name]["committed_epochs"]
+    kind = EXPECTED[name]["kind"]
+    assert report.classifications == {log_name(0): kind}
+    if kind == KIND_CORRUPT_SST:
+        assert not report.ok  # unrepairable: inside the committed prefix
+        return
+    if not committed:
+        # nothing durable: the log was quarantined whole and the
+        # directory is now (correctly) log-free
+        assert [e for e in report.errors if "no KoiDB logs" in e]
+        return
+    assert report.ok, report.errors
+    assert sorted(report.epochs) == committed
+    if kind != KIND_CLEAN:
+        assert report.repaired
+        assert report.errors_before
+
+
+def test_corpus_matches_generator(tmp_path):
+    """The checked-in corpus is exactly what generate.py produces."""
+    sys.path.insert(0, str(CORPUS_DIR))
+    try:
+        from generate import build_cases
+    finally:
+        sys.path.pop(0)
+    cases = build_cases(tmp_path)
+    assert sorted(cases) == CASES
+    for name, (blob, meta) in cases.items():
+        assert (CORPUS_DIR / f"{name}.bin").read_bytes() == blob, name
+        assert EXPECTED[name] == meta

@@ -31,6 +31,8 @@ from repro.exec.api import (
     TaskFn,
     WorkerCrashError,
     WorkerTaskError,
+    is_stateful_task,
+    stateful_task,
     worker_of,
 )
 from repro.exec.factory import (
@@ -51,6 +53,8 @@ __all__ = [
     "SERIAL_EXEC",
     "TaskFn",
     "worker_of",
+    "stateful_task",
+    "is_stateful_task",
     "ExecutorError",
     "WorkerTaskError",
     "WorkerCrashError",

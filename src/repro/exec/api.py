@@ -62,6 +62,28 @@ class WorkerCrashError(ExecutorError):
     """
 
 
+def stateful_task(fn: TaskFn) -> TaskFn:
+    """Mark a task whose sticky shard state cannot be rebuilt from scratch.
+
+    Decorator for task functions that accumulate per-shard state which
+    a *fresh* worker cannot reconstruct safely — e.g. ``koidb_apply``,
+    whose open :class:`~repro.storage.koidb.KoiDB` would, on a blind
+    re-open in a replacement worker, truncate the rank log and destroy
+    previously committed epochs.  :class:`~repro.exec.pools.ProcessExecutor`
+    refuses to resubmit marked tasks after a real worker-process death
+    and fails the drain with :class:`WorkerCrashError` instead; the
+    durable state on disk is left untouched for
+    ``KoiDB.open(recover=True)`` / ``fsck --repair``.
+    """
+    fn.carp_stateful = True  # type: ignore[attr-defined]
+    return fn
+
+
+def is_stateful_task(fn: TaskFn) -> bool:
+    """True when ``fn`` was marked with :func:`stateful_task`."""
+    return bool(getattr(fn, "carp_stateful", False))
+
+
 def worker_of(shard: int, workers: int) -> int:
     """The worker index that owns ``shard`` (sticky modulo assignment).
 

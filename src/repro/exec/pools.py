@@ -35,6 +35,7 @@ from repro.exec.api import (
     TaskFn,
     WorkerCrashError,
     WorkerTaskError,
+    is_stateful_task,
     worker_of,
 )
 
@@ -51,7 +52,7 @@ _CRASH = "crash"
 def _run_task(
     states: dict[int, dict[str, Any]],
     result_q: Any,
-    item: tuple[int, int, TaskFn, tuple[Any, ...]],
+    item: tuple[int, int, int, TaskFn, tuple[Any, ...]],
     task_retries: int,
 ) -> None:
     """Execute one ticketed task, retrying crashes inline.
@@ -59,10 +60,12 @@ def _run_task(
     Shared by both worker loops.  Retrying *inside* the worker (rather
     than re-enqueueing at the driver) preserves per-shard submission
     order: a retried task still finishes before any later task for the
-    same shard is picked up.  Every message carries the retry count as
+    same shard is picked up.  Every message echoes the submission's
+    attempt number (so the drain can discard results from a superseded
+    submission after a worker respawn) and carries the retry count as
     its last field so drains can account for recovery work.
     """
-    tid, shard, fn, args = item
+    tid, attempt, shard, fn, args = item
     state = states.setdefault(shard, {})
     retries = 0
     while True:
@@ -73,23 +76,23 @@ def _run_task(
                 retries += 1
                 continue
             result_q.put(
-                (_CRASH, tid, shard, repr(exc),
+                (_CRASH, tid, attempt, shard, repr(exc),
                  traceback.format_exc(), retries)
             )
             return
         except Exception as exc:  # noqa: BLE001 - reported via the queue
             result_q.put(
-                (_ERR, tid, shard, repr(exc),
+                (_ERR, tid, attempt, shard, repr(exc),
                  traceback.format_exc(), retries)
             )
             return
         else:
-            result_q.put((_OK, tid, value, retries))
+            result_q.put((_OK, tid, attempt, value, retries))
             return
 
 
 def _thread_worker_main(
-    task_q: "queue.SimpleQueue[tuple[int, int, TaskFn, tuple[Any, ...]] | None]",
+    task_q: "queue.SimpleQueue[tuple[int, int, int, TaskFn, tuple[Any, ...]] | None]",
     result_q: "queue.SimpleQueue[tuple[Any, ...]]",
     task_retries: int = 0,
 ) -> None:
@@ -131,10 +134,13 @@ class _PoolExecutor(Executor):
         self._started = False
         self._closed = False
         self._next_tid = 0
-        # tid -> (shard, fn, args) for every task since the last drain;
-        # keeping the full task lets ProcessExecutor resubmit after a
-        # real worker death.
-        self._pending: dict[int, tuple[int, TaskFn, tuple[Any, ...]]] = {}
+        # tid -> (attempt, shard, fn, args) for every task since the
+        # last drain; keeping the full task lets ProcessExecutor
+        # resubmit after a real worker death, and the attempt counter
+        # lets the drain discard a result the dead worker managed to
+        # enqueue before dying (the resubmission would otherwise be
+        # double-counted).
+        self._pending: dict[int, tuple[int, int, TaskFn, tuple[Any, ...]]] = {}
         # the drain in progress exposes its completed tickets here so
         # _check_workers_alive knows what not to resubmit
         self._drain_done: dict[int, tuple[Any, ...]] = {}
@@ -169,8 +175,8 @@ class _PoolExecutor(Executor):
             self._started = True
         tid = self._next_tid
         self._next_tid += 1
-        self._pending[tid] = (shard, fn, args)
-        self._enqueue(worker_of(shard, self.workers), (tid, shard, fn, args))
+        self._pending[tid] = (0, shard, fn, args)
+        self._enqueue(worker_of(shard, self.workers), (tid, 0, shard, fn, args))
 
     def drain(self) -> list[Any]:
         outcomes: dict[int, tuple[Any, ...]] = {}
@@ -181,7 +187,15 @@ class _PoolExecutor(Executor):
             except queue.Empty:
                 self._check_workers_alive()
                 continue
-            outcomes[msg[1]] = msg
+            tid, attempt = msg[1], msg[2]
+            current = self._pending.get(tid)
+            if current is None or current[0] != attempt:
+                # unknown ticket (a leftover from a past drain) or a
+                # stale attempt (the task was resubmitted after its
+                # worker died mid-report): drop it, the live attempt's
+                # result is the one that counts
+                continue
+            outcomes[tid] = msg
         pending, self._pending = self._pending, {}
         self._drain_done = {}
         failure: ExecutorError | None = None
@@ -192,15 +206,15 @@ class _PoolExecutor(Executor):
             if failure is not None:
                 continue
             if msg[0] == _OK:
-                results.append(msg[2])
+                results.append(msg[3])
             elif msg[0] == _CRASH:
                 failure = WorkerCrashError(
-                    f"task on shard {msg[2]} crashed"
-                    f"{f' after {msg[5]} retries' if msg[5] else ''}: "
-                    f"{msg[3]}"
+                    f"task on shard {msg[3]} crashed"
+                    f"{f' after {msg[6]} retries' if msg[6] else ''}: "
+                    f"{msg[4]}"
                 )
             else:
-                failure = WorkerTaskError(msg[2], msg[3], msg[4])
+                failure = WorkerTaskError(msg[3], msg[4], msg[5])
         if failure is not None:
             raise failure
         return results
@@ -305,6 +319,15 @@ class ProcessExecutor(_PoolExecutor):
         msg: tuple[Any, ...] = self._result_q.get(timeout=_POLL_TIMEOUT)
         return msg
 
+    def _unfinished_for(self, worker: int) -> list[int]:
+        """Tickets owned by ``worker`` with no result received yet."""
+        return [
+            tid
+            for tid in sorted(self._pending)
+            if tid not in self._drain_done
+            and worker_of(self._pending[tid][1], self.workers) == worker
+        ]
+
     def _check_workers_alive(self) -> None:
         dead = [
             i for i, proc in enumerate(self._procs)
@@ -312,15 +335,39 @@ class ProcessExecutor(_PoolExecutor):
         ]
         if not dead:
             return
+        detail = ", ".join(
+            f"{self._procs[i].name} (exit {self._procs[i].exitcode})"
+            for i in dead
+        )
+        # A stateful task's per-shard state (an open KoiDB) died with
+        # the worker and cannot be rebuilt from scratch: re-running it
+        # in a fresh worker would re-open — and truncate — a rank log
+        # that already holds committed epochs.  Fail the drain instead;
+        # the logs on disk stay exactly as the dead worker left them,
+        # recoverable via ``KoiDB.open(recover=True)`` / fsck --repair.
+        stateful = sorted(
+            {
+                self._pending[tid][2].__name__
+                for worker in dead
+                for tid in self._unfinished_for(worker)
+                if is_stateful_task(self._pending[tid][2])
+            }
+        )
+        if stateful:
+            self._closed = True
+            self._shutdown()
+            raise WorkerCrashError(
+                f"worker process died with stateful task(s) "
+                f"{', '.join(stateful)} in flight ({detail}); their "
+                "per-shard state cannot be rebuilt in a fresh worker, "
+                "so the drain fails rather than resubmitting — recover "
+                "the rank logs with KoiDB.open(recover=True)"
+            )
         if self._respawns_left >= len(dead):
             for worker in dead:
                 self._respawns_left -= 1
                 self._respawn(worker)
             return
-        detail = ", ".join(
-            f"{self._procs[i].name} (exit {self._procs[i].exitcode})"
-            for i in dead
-        )
         self._closed = True
         self._shutdown()
         raise WorkerCrashError(
@@ -330,13 +377,17 @@ class ProcessExecutor(_PoolExecutor):
     def _respawn(self, worker: int) -> None:
         """Replace a dead worker and resubmit its unfinished tasks.
 
-        Per-shard state in the dead process is gone, so this is sound
-        only for tasks that rebuild state idempotently (``koidb_apply``
-        with ``recover=True`` semantics, or stateless probes).  The
-        worker gets a *fresh* task queue so tasks buffered in the dead
-        worker's queue are not executed twice; a task the worker died
-        inside may still re-run, which is the standard at-least-once
-        caveat of crash retry.
+        Per-shard state in the dead process is gone, so this only runs
+        for stateless tasks (``_check_workers_alive`` fails the drain
+        when a task marked via :func:`~repro.exec.api.stateful_task`
+        is in flight on the dead worker).  The worker gets a *fresh*
+        task queue so tasks buffered in the dead worker's queue are not
+        executed twice, and every resubmission bumps the ticket's
+        attempt counter so a result the dead worker enqueued just
+        before dying is discarded by the drain instead of being
+        double-counted.  A task the worker died inside may still
+        re-run, which is the standard at-least-once caveat of crash
+        retry.
         """
         task_q = self._ctx.Queue()
         proc = self._ctx.Process(
@@ -349,12 +400,11 @@ class ProcessExecutor(_PoolExecutor):
         self._procs[worker] = proc
         proc.start()
         self.retries_done += 1
-        for tid in sorted(self._pending):
-            if tid in self._drain_done:
-                continue
-            shard, fn, args = self._pending[tid]
-            if worker_of(shard, self.workers) == worker:
-                task_q.put((tid, shard, fn, args))
+        for tid in self._unfinished_for(worker):
+            attempt, shard, fn, args = self._pending[tid]
+            attempt += 1
+            self._pending[tid] = (attempt, shard, fn, args)
+            task_q.put((tid, attempt, shard, fn, args))
 
     def _shutdown(self) -> None:
         for task_q in self._task_qs:

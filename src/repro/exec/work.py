@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.core.config import CarpOptions
 from repro.core.records import RecordBatch, range_mask
-from repro.exec.api import WorkerCrashError
+from repro.exec.api import WorkerCrashError, stateful_task
 from repro.faults.plan import SITE_TASK, FaultInjector, FaultSpec
 from repro.obs import NULL_OBS, Obs, SpanRecord, snapshot_delta
 from repro.storage.koidb import KoiDB, KoiDBStats
@@ -56,6 +56,7 @@ class KoiDBApplyResult:
     spans: list[SpanRecord]
 
 
+@stateful_task
 def koidb_apply(
     state: dict[str, Any],
     rank: int,
@@ -79,6 +80,13 @@ def koidb_apply(
     so a crash here leaves shard state untouched and an executor-level
     retry replays the exact same call idempotently.  Storage-site specs
     ride into the KoiDB on first open.
+
+    Marked :func:`~repro.exec.api.stateful_task`: the open KoiDB lives
+    in sticky shard state, so after a real worker-process death this
+    task must *not* be resubmitted to a fresh worker — re-opening the
+    rank log with the default ``recover=False`` would truncate every
+    committed epoch.  ``ProcessExecutor`` fails the drain instead and
+    leaves the log on disk for ``KoiDB.open(recover=True)``.
     """
     db: KoiDB | None = state.get("koidb")
     if fault_specs and "task_injector" not in state:

@@ -45,8 +45,11 @@ from repro.storage.manifest import (
     manifest_block_size,
 )
 
-#: How far back from EOF the footer scan looks (ample: manifest blocks
-#: and footers are tiny, and a crash clips at most one epoch of SSTs).
+#: Chunk size for the backward footer scan.  The scan walks the *whole*
+#: file in windows this big — a crash can leave arbitrarily many
+#: uncommitted bytes after the newest footer (a large epoch's worth of
+#: memtable-flush SSTs), so the scan must never give up early and
+#: misclassify a log with a valid committed prefix as footer-less.
 SCAN_WINDOW = 4 * 1024 * 1024
 
 #: Log diagnosis kinds, roughly ordered by how much of the tail
@@ -136,42 +139,55 @@ def find_committed_state(
 ) -> CommittedState | None:
     """Newest footer whose *entire* manifest chain validates.
 
-    Scans backwards from EOF over every ``KFTR`` occurrence; a footer
-    only counts if it CRC-decodes *and* the chain it points at walks
-    cleanly, so a valid-looking footer over a corrupt block falls back
-    to the previous commit point.  Returns ``None`` when the log has
-    no committed data at all.
+    Scans backwards from EOF over every ``KFTR`` occurrence, walking
+    the whole file in :data:`SCAN_WINDOW` chunks; a footer only counts
+    if it CRC-decodes *and* the chain it points at walks cleanly, so a
+    valid-looking footer over a corrupt block falls back to the
+    previous commit point.  Returns ``None`` when the log has no
+    committed data at all.
     """
     if size < FOOTER_SIZE:
         return None
-    window = min(size, SCAN_WINDOW)
-    base = size - window
-    fh.seek(base)
-    blob = fh.read(window)
-    pos = len(blob)
+    chunk = max(SCAN_WINDOW, 2 * FOOTER_SIZE)
+    window_end = size
     while True:
-        pos = blob.rfind(FOOTER_MAGIC, 0, pos)
-        if pos < 0:
+        base = max(0, window_end - chunk)
+        fh.seek(base)
+        blob = fh.read(window_end - base)
+        pos = len(blob)
+        while True:
+            pos = blob.rfind(FOOTER_MAGIC, 0, pos)
+            if pos < 0:
+                break
+            abs_pos = base + pos
+            if abs_pos + FOOTER_SIZE > size:
+                continue  # truncated at EOF
+            candidate = blob[pos : pos + FOOTER_SIZE]
+            if len(candidate) < FOOTER_SIZE:
+                # the footer runs past this window into already-scanned
+                # bytes; re-read it whole from the file
+                fh.seek(abs_pos)
+                candidate = fh.read(FOOTER_SIZE)
+            try:
+                manifest_offset = decode_footer(candidate)
+            except ManifestError:
+                continue
+            if manifest_offset >= abs_pos:
+                continue  # footer pointing past itself: torn rewrite
+            try:
+                entries = walk_manifest_chain(fh, size, manifest_offset, path)
+            except ManifestError:
+                continue
+            return CommittedState(
+                footer_end=abs_pos + FOOTER_SIZE,
+                manifest_offset=manifest_offset,
+                entries=tuple(entries),
+            )
+        if base == 0:
             return None
-        candidate = blob[pos : pos + FOOTER_SIZE]
-        if len(candidate) < FOOTER_SIZE:
-            continue
-        try:
-            manifest_offset = decode_footer(candidate)
-        except ManifestError:
-            continue
-        footer_end = base + pos + FOOTER_SIZE
-        if manifest_offset >= base + pos:
-            continue  # footer pointing past itself: torn rewrite
-        try:
-            entries = walk_manifest_chain(fh, size, manifest_offset, path)
-        except ManifestError:
-            continue
-        return CommittedState(
-            footer_end=footer_end,
-            manifest_offset=manifest_offset,
-            entries=tuple(entries),
-        )
+        # overlap the next window so a magic string straddling the
+        # window boundary is still found
+        window_end = base + len(FOOTER_MAGIC) - 1
 
 
 @dataclass(frozen=True)
@@ -240,21 +256,25 @@ def _classify_tail(tail: bytes) -> tuple[str, str]:
     except ManifestError as exc:
         return KIND_TORN_MANIFEST, f"manifest block at +{pos} invalid: {exc}"
     after = rest[need:]
-    if len(after) == FOOTER_SIZE:
-        try:
-            decode_footer(after)
-        except ManifestError as exc:
-            return KIND_TORN_FOOTER, (
-                f"valid manifest block at +{pos} but corrupt footer: {exc}"
-            )
-        # a valid footer here would have been the commit point, so the
-        # chain behind it must have failed validation
-        return KIND_TORN_MANIFEST, (
-            f"manifest block at +{pos} parses but its chain does not validate"
+    if len(after) < FOOTER_SIZE:
+        return KIND_TORN_FOOTER, (
+            f"valid manifest block at +{pos} but footer missing/short "
+            f"({len(after)} of {FOOTER_SIZE} bytes)"
         )
-    return KIND_TORN_FOOTER, (
-        f"valid manifest block at +{pos} but footer missing/short "
-        f"({len(after)} of {FOOTER_SIZE} bytes)"
+    extra = len(after) - FOOTER_SIZE
+    extra_note = f", then {extra} trailing byte(s)" if extra else ""
+    try:
+        decode_footer(after[:FOOTER_SIZE])
+    except ManifestError as exc:
+        return KIND_TORN_FOOTER, (
+            f"valid manifest block at +{pos} but corrupt footer: "
+            f"{exc}{extra_note}"
+        )
+    # a valid footer here would have been the commit point, so the
+    # chain behind it must have failed validation
+    return KIND_TORN_MANIFEST, (
+        f"manifest block at +{pos} parses but its chain does not "
+        f"validate{extra_note}"
     )
 
 

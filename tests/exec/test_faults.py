@@ -30,6 +30,8 @@ from repro.exec import (
     SerialExecutor,
     ThreadExecutor,
     WorkerCrashError,
+    is_stateful_task,
+    stateful_task,
 )
 from repro.faults.plan import (
     ACTION_DELAY,
@@ -270,5 +272,85 @@ def test_process_executor_respawns_dead_worker(tmp_path):
         executor.submit(0, flag_exit_task, flag)
         assert executor.drain() == ["revived"]
         assert executor.retries_done >= 1
+    finally:
+        executor.close()
+
+
+# ------------------------------------------- worker death vs. durability
+
+
+@stateful_task
+def stateful_exit_task(state):
+    os._exit(23)
+
+
+def echo_task(state, value):
+    return value
+
+
+def report_then_die_task(state, flag_path):
+    # first run: report a result, then die for real moments later —
+    # the driver may see the death before or after consuming the
+    # result, and must end up with exactly one outcome either way
+    if not os.path.exists(flag_path):
+        with open(flag_path, "w") as fh:
+            fh.write("died")
+        import threading
+
+        threading.Timer(0.05, lambda: os._exit(17)).start()
+    return "reported"
+
+
+def test_koidb_apply_is_marked_stateful():
+    from repro.exec.work import koidb_apply, probe_log
+
+    assert is_stateful_task(koidb_apply)
+    assert not is_stateful_task(probe_log)
+
+
+def test_dead_worker_with_stateful_task_fails_drain():
+    """A real worker-process death with a stateful task in flight must
+    fail the drain — never resubmit to a fresh worker whose empty shard
+    state would re-open (and truncate) a rank log."""
+    executor = ProcessExecutor(2, task_retries=3)
+    try:
+        executor.submit(0, stateful_exit_task)
+        with pytest.raises(WorkerCrashError, match="stateful"):
+            executor.drain()
+    finally:
+        executor.close()
+
+
+def test_drain_discards_stale_and_unknown_results():
+    """Leftover result messages — an unknown ticket, or a superseded
+    attempt of a live ticket — are dropped, not returned or counted."""
+    from repro.exec.pools import _OK
+
+    executor = ThreadExecutor(1)
+    try:
+        executor.submit(0, echo_task, "warm")
+        assert executor.drain() == ["warm"]
+        # forge leftovers ahead of the next round: queue order puts
+        # them in front of the real result
+        executor._result_q.put((_OK, 99, 0, "ghost", 0))
+        executor._result_q.put((_OK, 1, 7, "stale", 0))
+        executor.submit(0, echo_task, "real")  # ticket 1, attempt 0
+        assert executor.drain() == ["real"]
+        assert executor.retries_done == 0
+    finally:
+        executor.close()
+
+
+def test_death_after_report_never_duplicates(tmp_path):
+    """A worker that enqueues its result and then dies: whether the
+    drain consumes the result before or after noticing the death, each
+    ticket yields exactly one outcome and later drains stay clean."""
+    flag = str(tmp_path / "died.flag")
+    executor = ProcessExecutor(1, task_retries=3)
+    try:
+        executor.submit(0, report_then_die_task, flag)
+        assert executor.drain() == ["reported"]
+        executor.submit(0, report_then_die_task, flag)
+        assert executor.drain() == ["reported"]
     finally:
         executor.close()

@@ -186,6 +186,77 @@ def test_koidb_open_is_idempotent_on_clean_logs(tmp_path):
     assert (tmp_path / log_name(0)).read_bytes() == before
 
 
+# ------------------------------------------------ footer scan coverage
+
+
+def test_long_uncommitted_tail_keeps_commit_point(tmp_path, monkeypatch):
+    """A crash can leave more uncommitted bytes than one scan window
+    (a large epoch's worth of flushed SSTs): the footer scan must walk
+    the whole file instead of classifying the log as footer-less and
+    quarantining committed data."""
+    from repro.storage import recovery
+
+    monkeypatch.setattr(recovery, "SCAN_WINDOW", 4096)
+    path = tmp_path / log_name(0)
+    with LogWriter(path) as writer:
+        _write_epoch(writer, 0)
+        committed = writer.offset
+    with open(path, "ab") as fh:
+        fh.write(b"\xaa" * (5 * 4096))  # tail spanning many scan windows
+    diag = recovery.classify_log(path)
+    assert diag.kind == recovery.KIND_TORN_TAIL
+    assert diag.footer_end == committed
+
+    with LogWriter(path, recover=True) as writer:
+        assert writer.offset == committed
+        _write_epoch(writer, 1)
+    with LogReader(path) as reader:
+        assert sorted({e.epoch for e in reader.entries}) == [0, 1]
+
+
+@pytest.mark.parametrize("pad", range(0, 64, 7))
+def test_footer_found_at_any_window_alignment(tmp_path, monkeypatch, pad):
+    # sweep the tail length so the committed footer lands at every
+    # alignment relative to the scan-window boundaries, including
+    # straddling one
+    from repro.storage import recovery
+
+    monkeypatch.setattr(recovery, "SCAN_WINDOW", 64)
+    path = tmp_path / log_name(0)
+    with LogWriter(path) as writer:
+        _write_epoch(writer, 0)
+        committed = writer.offset
+    with open(path, "ab") as fh:
+        fh.write(b"\xaa" * (200 + pad))
+    diag = recovery.classify_log(path)
+    assert diag.kind == recovery.KIND_TORN_TAIL
+    assert diag.footer_end == committed
+
+
+def test_tail_with_footer_and_trailing_garbage_diagnosed(tmp_path):
+    """A tail holding a parseable manifest block, its decodable footer,
+    and further garbage must not be reported as 'footer missing/short
+    (N of 16 bytes)' with N larger than a footer."""
+    from repro.storage.manifest import encode_footer, encode_manifest_block
+    from repro.storage.recovery import KIND_TORN_MANIFEST, classify_log
+
+    path = tmp_path / log_name(0)
+    with LogWriter(path) as writer:
+        _write_epoch(writer, 0)
+        committed = writer.offset
+    # a block whose chain cannot validate (prev offset outside the
+    # file), the footer pointing at it, then trailing garbage
+    block = encode_manifest_block([], epoch=1, prev_offset=1 << 40)
+    with open(path, "ab") as fh:
+        fh.write(block + encode_footer(committed) + b"\xbb" * 7)
+
+    diag = classify_log(path)
+    assert diag.kind == KIND_TORN_MANIFEST
+    assert diag.footer_end == committed
+    assert "7 trailing byte(s)" in diag.detail
+    assert "missing/short" not in diag.detail
+
+
 # --------------------------------------------------------- typed errors
 
 

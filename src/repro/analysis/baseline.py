@@ -1,0 +1,91 @@
+"""Finding baselines: land new rule families with ratcheted debt.
+
+``carp-lint --write-baseline FILE`` records the current findings;
+``carp-lint --baseline FILE`` then fails only on findings *not* in the
+record.  Matching is by ``(rule, path, message)`` — deliberately
+ignoring line/column, so unrelated edits that shift a known finding do
+not break the build, while a *new* instance of the same rule in the
+same file with a different message still fails.
+
+Counts matter: a baseline with one known ``L1001`` in a file tolerates
+one, not arbitrarily many.  Fixed findings simply stop matching;
+re-running ``--write-baseline`` shrinks the file (the ratchet only
+ever tightens by choice, never loosens silently).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.core import Violation
+from repro.analysis.runner import LintResult
+
+BASELINE_VERSION = 1
+
+
+def _key(v: Violation) -> tuple[str, str, str]:
+    return (v.rule, _normalize_path(v.path), v.message)
+
+
+def _normalize_path(path: str) -> str:
+    p = Path(path)
+    try:
+        p = p.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+def write_baseline(result: LintResult, path: Path | str) -> int:
+    """Record the run's findings; returns how many were recorded."""
+    findings = [
+        {
+            "rule": v.rule,
+            "path": _normalize_path(v.path),
+            "message": v.message,
+        }
+        for v in result.violations
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": findings}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return len(findings)
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing or malformed."""
+
+
+def load_baseline(path: Path | str) -> Counter:
+    """Multiset of known findings keyed by (rule, path, message)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError as exc:
+        raise BaselineError(f"baseline not found: {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline is not valid JSON: {path}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise BaselineError(f"baseline missing 'findings': {path}")
+    known: Counter = Counter()
+    for entry in payload["findings"]:
+        known[(entry["rule"], entry["path"], entry["message"])] += 1
+    return known
+
+
+def apply_baseline(result: LintResult, known: Counter) -> LintResult:
+    """Result containing only findings beyond the baseline's counts."""
+    remaining = Counter(known)
+    fresh: list[Violation] = []
+    for v in result.violations:
+        key = _key(v)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(v)
+    return LintResult(
+        violations=fresh,
+        files_checked=result.files_checked,
+        parse_errors=list(result.parse_errors),
+    )

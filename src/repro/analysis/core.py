@@ -16,9 +16,18 @@ on:
 * an intra-module call-graph builder used by the cost-accounting and
   format-safety rules.
 
-Suppressions are per-file: a comment ``# carp-lint: disable=D101`` (or
-``disable=D101,F202`` / ``disable=all``) anywhere in a file disables
-those rules for the whole file.
+Suppressions come in three forms, from widest to narrowest:
+
+* file-wide — ``# carp-lint: disable=D101`` (or ``disable=D101,F202``
+  / ``disable=all``) anywhere in a file disables those rules for the
+  whole file;
+* next-line — ``# carp-lint: disable-next=RULE`` on its own line
+  disables the rules for the next non-comment code line;
+* same-line — a trailing ``# carp-lint: disable-line=RULE`` disables
+  the rules for the line it sits on.
+
+A finding is suppressed if *any* applicable form names its rule (or
+``all``); narrower forms never re-enable what a wider form disabled.
 """
 
 from __future__ import annotations
@@ -33,6 +42,11 @@ from pathlib import Path
 #: Matches ``# carp-lint: disable=RULE[,RULE...]`` suppression comments.
 _SUPPRESS_RE = re.compile(
     r"#\s*carp-lint:\s*disable\s*=\s*([A-Za-z0-9_,\s]+|all)"
+)
+
+#: Matches the line-scoped forms ``disable-next=`` / ``disable-line=``.
+_LINE_SUPPRESS_RE = re.compile(
+    r"#\s*carp-lint:\s*disable-(next|line)\s*=\s*([A-Za-z0-9_,\s]+|all)"
 )
 
 
@@ -75,6 +89,48 @@ def parse_suppressions(source: str) -> set[str]:
                 out.add("all")
             else:
                 out.update(r.strip() for r in spec.split(",") if r.strip())
+    except tokenize.TokenizeError:
+        pass
+    return out
+
+
+def _parse_rule_spec(spec: str) -> set[str]:
+    if spec.strip() == "all":
+        return {"all"}
+    return {r.strip() for r in spec.split(",") if r.strip()}
+
+
+def parse_line_suppressions(source: str) -> dict[int, set[str]]:
+    """Line number -> rule ids disabled on that line.
+
+    ``disable-line=`` applies to the comment's own line; ``disable-next=``
+    applies to the next line that carries actual code (comments and
+    blank lines between the directive and its target are skipped, so a
+    directive can sit above a block comment).
+    """
+    out: dict[int, set[str]] = {}
+    pending: set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                m = _LINE_SUPPRESS_RE.search(tok.string)
+                if m is None:
+                    continue
+                rules = _parse_rule_spec(m.group(2))
+                if m.group(1) == "line":
+                    out.setdefault(tok.start[0], set()).update(rules)
+                else:
+                    pending |= rules
+            elif pending and tok.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            ):
+                out.setdefault(tok.start[0], set()).update(pending)
+                pending = set()
     except tokenize.TokenizeError:
         pass
     return out
@@ -155,6 +211,7 @@ class FileContext:
     module: str | None
     aliases: dict[str, str] = field(default_factory=dict)
     suppressed: set[str] = field(default_factory=set)
+    line_suppressed: dict[int, set[str]] = field(default_factory=dict)
 
     @classmethod
     def from_path(cls, path: Path | str) -> "FileContext":
@@ -173,10 +230,16 @@ class FileContext:
             module=infer_module(path),
             aliases=build_alias_map(tree),
             suppressed=parse_suppressions(source),
+            line_suppressed=parse_line_suppressions(source),
         )
 
-    def is_suppressed(self, rule_id: str) -> bool:
-        return "all" in self.suppressed or rule_id in self.suppressed
+    def is_suppressed(self, rule_id: str, line: int | None = None) -> bool:
+        if "all" in self.suppressed or rule_id in self.suppressed:
+            return True
+        if line is None:
+            return False
+        on_line = self.line_suppressed.get(line, ())
+        return "all" in on_line or rule_id in on_line
 
 
 class Rule:

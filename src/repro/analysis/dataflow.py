@@ -1,0 +1,178 @@
+"""Forward dataflow over :mod:`repro.analysis.cfg` graphs.
+
+A small gen/kill framework, specialized to what the lint rules need:
+facts are strings ("dirty", "open:fh@12", "commit-unsynced"), the
+transfer function of one CFG element is ``(facts - kill) | gen``, and
+block states are solved to fixpoint with a worklist.
+
+Two join modes cover the rule families:
+
+* **may** (union) — "does this fact hold on *some* path here?"  The W
+  and L rules phrase their invariants so a violation is a fact that
+  *may* survive to a program point (an unsynced write reaching a
+  commit, an open handle reaching the exit), which makes every check a
+  may-analysis reachability question.
+* **must** (intersection) — "does this fact hold on *every* path
+  here?"  Exposed for completeness and exercised by the property
+  tests, which cross-check both modes against brute-force path
+  enumeration (:func:`repro.analysis.cfg.enumerate_paths`).
+
+Exceptional edges propagate the state from *before* the source block's
+final element (see :mod:`repro.analysis.cfg`): a statement that raised
+did not complete, so its gen/kill effect is excluded on that edge.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.analysis.cfg import EXC, CFG
+
+Facts = frozenset[str]
+
+#: ``gen``/``kill`` signature: AST element -> fact strings.
+FactFn = Callable[[ast.AST], Iterable[str]]
+
+MAY = "may"
+MUST = "must"
+
+
+@dataclass
+class GenKillAnalysis:
+    """One forward gen/kill problem over a CFG."""
+
+    gen: FactFn
+    kill: FactFn
+    mode: str = MAY
+    #: Facts holding at function entry.
+    entry_facts: frozenset[str] = frozenset()
+
+    def transfer(self, facts: Facts, elem: ast.AST) -> Facts:
+        return (facts - frozenset(self.kill(elem))) | frozenset(self.gen(elem))
+
+    def transfer_block(
+        self, facts: Facts, elems: list[ast.AST], drop_last: bool = False
+    ) -> Facts:
+        run = elems[:-1] if (drop_last and elems) else elems
+        for elem in run:
+            facts = self.transfer(facts, elem)
+        return facts
+
+
+@dataclass
+class DataflowResult:
+    """Per-block IN states of a solved analysis."""
+
+    analysis: GenKillAnalysis
+    cfg: CFG
+    block_in: dict[int, Facts]
+
+    def facts_before(self, block_index: int, elem_index: int) -> Facts:
+        """State just before element ``elem_index`` of a block."""
+        block = self.cfg.blocks[block_index]
+        return self.analysis.transfer_block(
+            self.block_in[block_index], block.elems[:elem_index]
+        )
+
+    def facts_out(self, block_index: int) -> Facts:
+        block = self.cfg.blocks[block_index]
+        return self.analysis.transfer_block(
+            self.block_in[block_index], block.elems
+        )
+
+    def facts_at_exit(self) -> Facts:
+        return self.block_in[self.cfg.exit]
+
+    def iter_elements(self) -> Iterable[tuple[ast.AST, Facts]]:
+        """Every element with the fact state holding just before it."""
+        for block in self.cfg.blocks:
+            facts = self.block_in[block.index]
+            for elem in block.elems:
+                yield elem, facts
+                facts = self.analysis.transfer(facts, elem)
+
+
+def solve(analysis: GenKillAnalysis, cfg: CFG) -> DataflowResult:
+    """Worklist fixpoint of ``analysis`` over ``cfg``.
+
+    Unreachable blocks keep the identity state for the join (empty for
+    may, the running universe for must), so they never influence
+    reachable results.
+    """
+    must = analysis.mode == MUST
+    # the must-join needs a universe; every fact any element can gen
+    # (plus the entry facts) bounds it
+    universe: set[str] = set(analysis.entry_facts)
+    for block in cfg.blocks:
+        for elem in block.elems:
+            universe.update(analysis.gen(elem))
+    top = frozenset(universe)
+
+    block_in: dict[int, Facts] = {
+        b.index: (top if must else frozenset()) for b in cfg.blocks
+    }
+    block_in[cfg.entry] = analysis.entry_facts
+    preds = cfg.preds()
+
+    # blocks unreachable from entry (dead code after a return/raise)
+    # must not inject facts into live joins
+    reachable = {cfg.entry}
+    stack = [cfg.entry]
+    while stack:
+        for succ, _ in cfg.blocks[stack.pop()].succs:
+            if succ not in reachable:
+                reachable.add(succ)
+                stack.append(succ)
+
+    # per-block OUT caches, split by edge kind: exceptional edges carry
+    # the pre-final-element state
+    def outs(index: int) -> tuple[Facts, Facts]:
+        block = cfg.blocks[index]
+        normal = analysis.transfer_block(block_in[index], block.elems)
+        exc = analysis.transfer_block(block_in[index], block.elems, drop_last=True)
+        return normal, exc
+
+    # round-robin to fixpoint; rule CFGs are function-sized, so the
+    # simple loop beats a fiddly worklist
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            index = block.index
+            if index not in reachable:
+                continue  # dead code: keep the identity state
+            states = []
+            if index == cfg.entry:
+                states.append(analysis.entry_facts)
+            for src, kind in preds[index]:
+                if src not in reachable:
+                    continue
+                normal, exc = outs(src)
+                states.append(exc if kind == EXC else normal)
+            if not states:
+                continue
+            joined = states[0]
+            for state in states[1:]:
+                joined = joined & state if must else joined | state
+            if joined != block_in[index]:
+                block_in[index] = joined
+                changed = True
+    return DataflowResult(analysis=analysis, cfg=cfg, block_in=block_in)
+
+
+def facts_along_path(
+    analysis: GenKillAnalysis, path: list[tuple[ast.AST, bool]]
+) -> Facts:
+    """Fold one enumerated path (from :func:`enumerate_paths`).
+
+    Elements flagged non-effective (left via an exceptional edge before
+    completing) are skipped — the same pre-state semantics the solver
+    applies to exceptional edges.
+    """
+    facts = analysis.entry_facts
+    for elem, effective in path:
+        if effective:
+            facts = analysis.transfer(facts, elem)
+    return facts

@@ -1,0 +1,240 @@
+"""Resource-lifetime rules (L-family).
+
+The ROADMAP's mmap migration multiplies the number of long-lived OS
+handles in the storage/query layers; these rules make "every handle is
+closed or context-managed on every path" a static invariant first.
+
+Rules
+-----
+L1001
+    A local bound to an opened resource (``open``, ``mmap.mmap``, …)
+    that can reach function exit still open on *some* CFG path,
+    without escaping the function.  A may-dataflow
+    (:mod:`repro.analysis.dataflow`): acquisition gens an ``open``
+    fact, ``close()``/``with``-entry kill it, and any *escape*
+    (returned/yielded, stored into an attribute/container, passed to a
+    call) conservatively transfers ownership and kills too.
+    Exceptional edges carry pre-acquisition state, so ``fh = open(p)``
+    raising binds (and leaks) nothing.
+L1002
+    A class whose method stores a resource into ``self.<attr>`` while
+    the class defines neither ``close`` nor ``__exit__`` — nothing can
+    ever release the handle.
+L1003
+    An orphan resource expression: ``open(p).read()`` or a bare
+    ``open(p)`` statement — the handle has no name, so no path can
+    close it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.core import (
+    FileContext,
+    Rule,
+    Violation,
+    iter_functions,
+    qualified_name,
+)
+from repro.analysis.dataflow import MAY, GenKillAnalysis, solve
+
+#: File handles and mmaps in the on-disk layers.
+LIFETIME_SCOPE = ("repro.storage", "repro.query")
+
+_RESOURCE_QUALIFIED = frozenset(
+    {
+        "open",
+        "io.open",
+        "os.fdopen",
+        "gzip.open",
+        "bz2.open",
+        "lzma.open",
+        "mmap.mmap",
+        "tempfile.NamedTemporaryFile",
+        "tempfile.TemporaryFile",
+    }
+)
+
+_CLOSE_METHODS = frozenset({"close", "release"})
+
+
+def _is_resource_call(node: ast.AST, aliases: dict[str, str]) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and qualified_name(node.func, aliases) in _RESOURCE_QUALIFIED
+    )
+
+
+def _parents(root: ast.AST) -> dict[int, ast.AST]:
+    out: dict[int, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            out[id(child)] = node
+    return out
+
+
+class LocalLeakRule(Rule):
+    id = "L1001"
+    name = "handle-open-at-exit"
+    description = (
+        "locally opened file handle/mmap may reach function exit "
+        "unclosed on some CFG path"
+    )
+    scope = LIFETIME_SCOPE
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for _qual, fn in iter_functions(ctx.tree):
+            out.extend(self._check_fn(ctx, fn))
+        return out
+
+    def _check_fn(
+        self, ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[Violation]:
+        open_sites: dict[str, ast.AST] = {}
+
+        def gen(elem: ast.AST) -> list[str]:
+            facts: list[str] = []
+            for node in ast.walk(elem):
+                target: ast.expr | None = None
+                value: ast.expr | None = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, (ast.AnnAssign, ast.NamedExpr)):
+                    target, value = node.target, node.value
+                if (
+                    isinstance(target, ast.Name)
+                    and value is not None
+                    and _is_resource_call(value, ctx.aliases)
+                ):
+                    fact = f"open:{target.id}"
+                    facts.append(fact)
+                    open_sites.setdefault(fact, value)
+            return facts
+
+        def kill(elem: ast.AST) -> list[str]:
+            facts: set[str] = set()
+            parents = _parents(elem)
+            for node in ast.walk(elem):
+                if not (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, (ast.Load, ast.Store))
+                ):
+                    continue
+                parent = parents.get(id(node), None)
+                if (
+                    isinstance(parent, ast.Attribute)
+                    and parent.value is node
+                    and parent.attr not in _CLOSE_METHODS
+                ):
+                    # x.read(), x.closed, ... — a use, not a release
+                    continue
+                # everything else releases or transfers ownership:
+                # x.close(), with x (the bare Name *is* the element),
+                # return/yield x, f(x), self.a = x, d[k] = x, y = x,
+                # and rebinding x itself
+                facts.add(f"open:{node.id}")
+            return facts
+
+        cfg = build_cfg(fn)
+        result = solve(GenKillAnalysis(gen=gen, kill=kill, mode=MAY), cfg)
+        out: list[Violation] = []
+        for fact in sorted(result.facts_at_exit()):
+            site = open_sites.get(fact)
+            if site is None:
+                continue
+            name = fact.split(":", 1)[1]
+            out.append(
+                self.violation(
+                    ctx, site,
+                    f"handle '{name}' opened here may still be open at "
+                    "function exit on some path — close it on every "
+                    "path or use 'with'",
+                )
+            )
+        return out
+
+
+class UncloseableAttributeRule(Rule):
+    id = "L1002"
+    name = "resource-attribute-without-close"
+    description = (
+        "class stores an opened resource in an attribute but defines "
+        "neither close() nor __exit__"
+    )
+    scope = LIFETIME_SCOPE
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                n.name
+                for n in node.body
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if methods & {"close", "__exit__", "__del__"}:
+                continue
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                if not _is_resource_call(sub.value, ctx.aliases):
+                    continue
+                stores_self = any(
+                    isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                    for t in sub.targets
+                )
+                if stores_self:
+                    out.append(
+                        self.violation(
+                            ctx, sub,
+                            f"class '{node.name}' stores an opened "
+                            "resource in an attribute but defines no "
+                            "close()/__exit__ — the handle can never be "
+                            "released",
+                        )
+                    )
+        return out
+
+
+class OrphanResourceRule(Rule):
+    id = "L1003"
+    name = "orphan-resource-expression"
+    description = (
+        "resource opened without a binding (open(p).read() or bare "
+        "statement) — nothing can ever close it"
+    )
+    scope = LIFETIME_SCOPE
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        parents = _parents(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not _is_resource_call(node, ctx.aliases):
+                continue
+            parent = parents.get(id(node))
+            orphan = (
+                isinstance(parent, ast.Attribute) and parent.value is node
+            ) or isinstance(parent, ast.Expr)
+            if orphan:
+                out.append(
+                    self.violation(
+                        ctx, node,
+                        "resource opened without a binding — the handle "
+                        "leaks until interpreter shutdown; bind it, use "
+                        "'with', or read via Path helpers",
+                    )
+                )
+        return out
+
+
+LIFETIME_RULES: tuple[Rule, ...] = (
+    LocalLeakRule(),
+    UncloseableAttributeRule(),
+    OrphanResourceRule(),
+)

@@ -12,15 +12,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.analysis.concurrency_rules import CONCURRENCY_RULES
 from repro.analysis.core import FileContext, Rule, Violation
 from repro.analysis.costmodel import COSTMODEL_RULES
 from repro.analysis.determinism import DETERMINISM_RULES
 from repro.analysis.exec_rules import EXEC_RULES
 from repro.analysis.formats import FORMAT_RULES
 from repro.analysis.hygiene import HYGIENE_RULES
+from repro.analysis.lifetime_rules import LIFETIME_RULES
 from repro.analysis.obs_rules import OBS_RULES
 from repro.analysis.recovery_rules import RECOVERY_RULES
 from repro.analysis.typing_rules import TYPING_RULES
+from repro.analysis.write_rules import WRITE_RULES
 
 #: Every registered rule, in family order.
 ALL_RULES: tuple[Rule, ...] = (
@@ -32,6 +35,9 @@ ALL_RULES: tuple[Rule, ...] = (
     *OBS_RULES,
     *EXEC_RULES,
     *RECOVERY_RULES,
+    *CONCURRENCY_RULES,
+    *WRITE_RULES,
+    *LIFETIME_RULES,
 )
 
 
@@ -105,7 +111,8 @@ def lint_paths(
 ) -> LintResult:
     """Lint files/directories; returns all surviving violations.
 
-    Per-file suppressions (``# carp-lint: disable=RULE``) are applied
+    Suppressions — file-wide (``# carp-lint: disable=RULE``) and
+    line-scoped (``disable-next=`` / ``disable-line=``) — are applied
     to both per-file and project-wide findings.
     """
     active = list(ALL_RULES) if rules is None else rules
@@ -127,7 +134,7 @@ def lint_paths(
         raw.extend(rule.check_project(ctxs))
     for v in raw:
         ctx = ctx_by_path.get(v.path)
-        if ctx is not None and ctx.is_suppressed(v.rule):
+        if ctx is not None and ctx.is_suppressed(v.rule, v.line):
             continue
         result.violations.append(v)
     result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))

@@ -368,9 +368,8 @@ class CarpRun:
         # a crashed epoch leaves this span open, marking the crash
         # point.  The per-epoch span name is bounded by the epoch
         # count, the sanctioned exception to static instrument names.
-        # carp-lint: disable=O503
         obs.tracer.begin(
-            self._tr_epoch, f"epoch {epoch}", obs.clock.now(),
+            self._tr_epoch, f"epoch {epoch}", obs.clock.now(),  # carp-lint: disable-line=O503
             {"epoch": epoch, "records": total_records},
         )
 

@@ -157,9 +157,8 @@ def negotiate_trp(
             # per-level span name, bounded by the tree depth
             # (log_fanin(nranks)) — the sanctioned exception to static
             # instrument names.
-            # carp-lint: disable=O503
             obs.tracer.complete(
-                tr_trp, f"level {level}", t0, dur,
+                tr_trp, f"level {level}", t0, dur,  # carp-lint: disable-line=O503
                 {"level": level, "groups": len(groups), "senders": senders,
                  "max_fanin": max(max_fanin, 1), "message_bytes": msg},
             )

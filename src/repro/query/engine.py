@@ -103,7 +103,16 @@ class PartitionedStore:
         if not paths:
             raise FileNotFoundError(f"no KoiDB logs under {self.directory}")
         self._paths = paths
-        self._readers = [LogReader(p, recover=recover) for p in paths]
+        # open all logs, closing the ones already open if a later one
+        # fails to parse — a half-built store leaks no handles
+        self._readers = []
+        try:
+            for p in paths:
+                self._readers.append(LogReader(p, recover=recover))
+        except BaseException:
+            for reader in self._readers:
+                reader.close()
+            raise
         # (reader index, entry) pairs across all logs, grouped by
         # reader index — the per-log query fan-out relies on this
         # grouping to reassemble runs in the serial candidate order

@@ -108,12 +108,11 @@ class KoiDB:
         # merged snapshot depend on cross-rank observe order.  The
         # cardinality is bounded by the receiver count, the sanctioned
         # exception to static instrument names.
-        # carp-lint: disable=O503
         self._m_fill = metrics.histogram(
-            f"koidb.memtable_fill_at_flush.r{rank}", (0.25, 0.5, 0.75, 0.9, 1.0)
+            f"koidb.memtable_fill_at_flush.r{rank}", (0.25, 0.5, 0.75, 0.9, 1.0)  # carp-lint: disable-line=O503
         )
         self._g_occupancy = metrics.gauge(
-            f"koidb.memtable_occupancy.r{rank}"
+            f"koidb.memtable_occupancy.r{rank}"  # carp-lint: disable-line=O503
         )
 
     @classmethod

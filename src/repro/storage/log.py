@@ -121,11 +121,16 @@ class LogWriter:
                     offset=0,
                 )
             self._fh = open(self.path, "r+b")
-            self._fh.seek(size - FOOTER_SIZE)
-            self._last_manifest_offset = decode_footer(
-                self._fh.read(FOOTER_SIZE)
-            )
-            self._fh.seek(size)
+            try:
+                self._fh.seek(size - FOOTER_SIZE)
+                self._last_manifest_offset = decode_footer(
+                    self._fh.read(FOOTER_SIZE)
+                )
+                self._fh.seek(size)
+            except BaseException:
+                # a half-constructed writer has no owner to close it
+                self._fh.close()
+                raise
             self._offset = size
         else:
             # fresh log (also the recover case where the whole file was
@@ -203,7 +208,10 @@ class LogWriter:
         self._write_payload(
             SITE_MANIFEST_WRITE, block + encode_footer(block_offset)
         )
+        # the footer is the commit record: it must be durable before we
+        # report the epoch flushed (carp-lint W902)
         self._fh.flush()
+        os.fsync(self._fh.fileno())
         self._last_manifest_offset = block_offset
         self._pending = []
 
@@ -231,9 +239,14 @@ class LogReader:
     def __init__(self, path: Path | str, recover: bool = False) -> None:
         self.path = Path(path)
         self._fh = open(self.path, "rb")
-        self._size = os.path.getsize(self.path)
-        self.recovered_bytes_dropped = 0
-        self._entries = self._load_entries(recover)
+        try:
+            self._size = os.path.getsize(self.path)
+            self.recovered_bytes_dropped = 0
+            self._entries = self._load_entries(recover)
+        except BaseException:
+            # a reader that failed to parse has no owner to close it
+            self._fh.close()
+            raise
         #: Bytes of data read through this reader (for I/O accounting).
         self.bytes_read = 0
         #: Number of distinct read requests issued (proxy for seeks).

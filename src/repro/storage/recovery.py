@@ -391,8 +391,16 @@ def quarantine_tail(
     with open(path, "r+b") as fh:
         fh.seek(footer_end)
         tail = fh.read()
-        target.write_bytes(tail)
+        # the quarantine copy must be durable *before* the truncate
+        # commits the repair, or a crash between the two destroys the
+        # only copy of the tail (carp-lint W901)
+        with open(target, "wb") as out:
+            out.write(tail)
+            out.flush()
+            os.fsync(out.fileno())
         fh.truncate(footer_end)
+        fh.flush()
+        os.fsync(fh.fileno())
     return target
 
 

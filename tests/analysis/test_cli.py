@@ -23,6 +23,9 @@ def test_clean_repo_exits_zero(repo_src, capsys):
         "bad_typing.py",
         "bad_obs.py",
         "bad_exec.py",
+        "bad_concurrency.py",
+        "bad_writepath.py",
+        "bad_lifetime.py",
     ],
 )
 def test_each_bad_fixture_exits_nonzero(fixtures_dir, fixture, capsys):

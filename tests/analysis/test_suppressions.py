@@ -1,0 +1,106 @@
+"""Line-scoped suppressions: disable-next=, disable-line=, precedence."""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+from repro.analysis.core import FileContext, parse_line_suppressions
+
+
+def _lint_source(tmp_path, source, name="snippet.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return lint_paths([path])
+
+
+def test_parse_line_suppressions_forms():
+    src = (
+        "# carp-lint: disable-next=D101\n"
+        "x = 1\n"
+        "y = 2  # carp-lint: disable-line=D101, F202\n"
+        "# carp-lint: disable-next=all\n"
+        "z = 3\n"
+    )
+    parsed = parse_line_suppressions(src)
+    assert parsed == {
+        2: {"D101"},
+        3: {"D101", "F202"},
+        5: {"all"},
+    }
+
+
+def test_disable_next_skips_blank_and_comment_lines():
+    src = (
+        "# carp-lint: disable-next=D101\n"
+        "\n"
+        "# an unrelated comment\n"
+        "x = 1\n"
+    )
+    assert parse_line_suppressions(src) == {4: {"D101"}}
+
+
+def test_file_wide_disable_is_not_a_line_form():
+    # the narrower forms must not be swallowed by the disable= regex,
+    # nor vice versa
+    src = "# carp-lint: disable=D101\nx = 1\n"
+    assert parse_line_suppressions(src) == {}
+
+
+def test_is_suppressed_precedence():
+    src = (
+        "# carp-lint: disable=F202\n"
+        "# carp-lint: disable-next=D101\n"
+        "x = 1\n"
+        "y = 2  # carp-lint: disable-line=all\n"
+    )
+    ctx = FileContext.from_source(src, Path("m.py"))
+    # file-wide applies on every line
+    assert ctx.is_suppressed("F202", line=3)
+    assert ctx.is_suppressed("F202")
+    # line forms only on their line
+    assert ctx.is_suppressed("D101", line=3)
+    assert not ctx.is_suppressed("D101", line=2)
+    # disable-line=all silences everything on that one line only
+    assert ctx.is_suppressed("X999", line=4)
+    assert not ctx.is_suppressed("X999", line=3)
+
+
+def test_disable_line_silences_one_finding(tmp_path):
+    noisy = "import time\n\n\ndef f():\n    return time.time()\n"
+    result = _lint_source(tmp_path, noisy)
+    fired = {v.rule for v in result.violations}
+    assert "D101" in fired
+
+    line = noisy.splitlines()[4] + "  # carp-lint: disable-line=D101\n"
+    fixed = "\n".join(noisy.splitlines()[:4]) + "\n" + line
+    result = _lint_source(tmp_path, fixed)
+    assert "D101" not in {v.rule for v in result.violations}
+
+
+def test_disable_next_silences_the_following_line(tmp_path):
+    src = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def f():\n"
+        "    # carp-lint: disable-next=D101\n"
+        "    return time.time()\n"
+    )
+    result = _lint_source(tmp_path, src)
+    assert "D101" not in {v.rule for v in result.violations}
+
+
+def test_line_suppression_does_not_leak_to_other_lines(tmp_path):
+    src = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def f():\n"
+        "    # carp-lint: disable-next=D101\n"
+        "    a = time.time()\n"
+        "    b = time.time()\n"
+        "    return a, b\n"
+    )
+    result = _lint_source(tmp_path, src)
+    d101_lines = {v.line for v in result.violations if v.rule == "D101"}
+    assert 6 not in d101_lines
+    assert 7 in d101_lines

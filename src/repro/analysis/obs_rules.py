@@ -37,6 +37,17 @@ O503
     bounded-cardinality exceptions (per-rank instrument names, whose
     cardinality is fixed by the run topology) carry a per-file
     ``# carp-lint: disable=O503`` with a rationale comment.
+O504
+    Resource acquisition at module or constructor scope inside
+    ``repro.obs`` — an ``open()`` / ``Path.write_text``-style sink
+    grab, or a wall-clock call, executed at import time or while
+    building a telemetry/export object.  The telemetry plane must take
+    its clock and its output sink *by injection* (the
+    ``TelemetryStream(metrics, clock, sink)`` shape): a stream that
+    opens its own file cannot be pointed at a test buffer, and one
+    that reads the host clock is nondeterministic across backends.
+    Method bodies may touch files (``ChromeTracer.write`` et al. are
+    explicit persist calls); import and ``__init__`` may not.
 """
 
 from __future__ import annotations
@@ -256,8 +267,106 @@ class StaticInstrumentNameRule(Rule):
         return out
 
 
+#: Attribute calls that acquire a file-backed sink (``Path`` and
+#: file-object idioms); at module/constructor scope in ``repro.obs``
+#: these hard-wire the telemetry output instead of injecting it.
+_SINK_ACQUIRERS = frozenset(
+    {"open", "write_text", "read_text", "write_bytes", "read_bytes"}
+)
+
+
+class InjectedTelemetrySinkRule(Rule):
+    id = "O504"
+    name = "injected-telemetry-sink"
+    description = (
+        "sink/clock acquired at module or constructor scope in repro.obs — "
+        "telemetry and export code must take clock and output sink by "
+        "injection"
+    )
+    scope = ("repro.obs",)
+
+    def _flag(self, ctx: FileContext, node: ast.Call,
+              where: str) -> Violation | None:
+        qual = qualified_name(node.func, ctx.aliases)
+        if qual == "open":
+            return self.violation(
+                ctx, node,
+                f"open() at {where} scope — accept an injected sink (any "
+                "object with .write) instead of opening files here",
+            )
+        if qual is not None:
+            root = qual.split(".")[0]
+            if root in WALL_CLOCK_MODULES and "." in qual:
+                return self.violation(
+                    ctx, node,
+                    f"{qual}() at {where} scope — accept an injected "
+                    "repro.obs.Clock instead of reading the host clock",
+                )
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SINK_ACQUIRERS):
+            return self.violation(
+                ctx, node,
+                f".{node.func.attr}() at {where} scope — accept an injected "
+                "sink instead of acquiring file-backed output here",
+            )
+        return None
+
+    @staticmethod
+    def _eager_calls(root: ast.stmt) -> list[ast.Call]:
+        """Call nodes under ``root`` that run when the statement runs.
+
+        Nested function and lambda bodies are pruned — defining a
+        closure at import time is fine; only *executing* an acquiring
+        call is not.
+        """
+        calls: list[ast.Call] = []
+        stack: list[ast.AST] = [root]
+        while stack:
+            node = stack.pop()
+            if node is not root and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(node, ast.Call):
+                calls.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return calls
+
+    def _scan(self, ctx: FileContext, body: list[ast.stmt],
+              out: list[Violation]) -> None:
+        """Flag acquiring calls that execute at import or construction.
+
+        Module bodies descend into class bodies (class statements run
+        at import time) and into ``__init__`` bodies (they run while
+        building the object); every other function body is exempt —
+        a method touching files is an explicit persist call.
+        """
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name != "__init__":
+                    continue
+                for node in self._eager_calls(stmt):
+                    violation = self._flag(ctx, node, "constructor")
+                    if violation is not None:
+                        out.append(violation)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                self._scan(ctx, stmt.body, out)
+                continue
+            for node in self._eager_calls(stmt):
+                violation = self._flag(ctx, node, "module")
+                if violation is not None:
+                    out.append(violation)
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        self._scan(ctx, ctx.tree.body, out)
+        return out
+
+
 OBS_RULES: tuple[Rule, ...] = (
     WallClockModuleRule(),
     InjectedInstrumentationRule(),
     StaticInstrumentNameRule(),
+    InjectedTelemetrySinkRule(),
 )

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from pathlib import Path
 from types import TracebackType
+from typing import TextIO
 
 from repro.core.carp import CarpRun, EpochStats
 from repro.core.config import CarpOptions
@@ -36,7 +37,7 @@ from repro.core.records import RecordBatch
 from repro.exec.api import Executor
 from repro.exec.factory import resolve_executor
 from repro.faults.plan import FaultPlan
-from repro.obs import NULL_OBS, Obs
+from repro.obs import NULL_OBS, Obs, RequestIdAllocator, TelemetryStream
 from repro.query.engine import PartitionedStore, QueryResult
 from repro.query.explain import QueryExplain
 from repro.query.reader import RangeReader
@@ -65,6 +66,7 @@ class Session:
         io: IOModel | None = None,
         record: bool = False,
         faults: FaultPlan | None = None,
+        telemetry: TelemetryStream | bool = False,
     ) -> None:
         if obs is None:
             self.obs = Obs.recording() if record else NULL_OBS
@@ -73,6 +75,7 @@ class Session:
         self.executor, self._exec_owned = resolve_executor(executor)
         self.io = io or IOModel()
         self.out_dir = Path(out_dir)
+        self._requests = RequestIdAllocator()
         self.run = CarpRun(
             nranks,
             self.out_dir,
@@ -82,6 +85,34 @@ class Session:
             executor=self.executor,
             faults=faults,
         )
+        # ``telemetry=True`` opens <out_dir>/telemetry.jsonl and streams
+        # samples into it (closed with the session); an explicit
+        # TelemetryStream is attached as-is and its sink stays owned by
+        # the caller.  Either way the stream rides on the session obs,
+        # which must therefore be a recording stack — NULL_OBS is a
+        # shared singleton and must never be mutated.
+        self._telemetry_file: TextIO | None = None
+        self.telemetry: TelemetryStream | None = None
+        if telemetry:
+            if not self.obs.enabled:
+                raise ValueError(
+                    "telemetry needs a recording obs stack: pass "
+                    "record=True or an enabled obs="
+                )
+            if isinstance(telemetry, TelemetryStream):
+                self.telemetry = telemetry
+            else:
+                self.out_dir.mkdir(parents=True, exist_ok=True)
+                self._telemetry_file = (self.out_dir / "telemetry.jsonl").open(
+                    "w", encoding="utf-8"
+                )
+                self.telemetry = TelemetryStream(
+                    self.obs.metrics,
+                    self.obs.clock,
+                    self._telemetry_file,
+                    record_bytes=4 + self.run.options.value_size,
+                )
+            self.obs.telemetry = self.telemetry
         self._store: PartitionedStore | None = None
         self._reader: RangeReader | None = None
         self._closed = False
@@ -89,8 +120,15 @@ class Session:
     # ------------------------------------------------------------ ingest
 
     def ingest_epoch(self, epoch: int, streams: list[RecordBatch]) -> EpochStats:
-        """Ingest one epoch through the session's :class:`CarpRun`."""
-        stats = self.run.ingest_epoch(epoch, streams)
+        """Ingest one epoch through the session's :class:`CarpRun`.
+
+        Each epoch is one logical *request*: the session mints a
+        deterministic ``ingest-NNNNNN`` id that tags every span and
+        telemetry sample on the epoch's causal path, driver- and
+        worker-side (see :mod:`repro.obs.context`).
+        """
+        ctx = self._requests.mint("ingest")
+        stats = self.run.ingest_epoch(epoch, streams, ctx=ctx)
         # the logs grew, so any open store view is stale
         self._invalidate_views()
         return stats
@@ -121,8 +159,13 @@ class Session:
     def query(
         self, epoch: int, lo: float, hi: float, keys_only: bool = False
     ) -> QueryResult:
-        """Range query against the session's output."""
-        return self.store().query(epoch, lo, hi, keys_only=keys_only)
+        """Range query against the session's output.
+
+        Mints a ``query-NNNNNN`` request id; the query/probe spans and
+        the post-query telemetry sample carry it.
+        """
+        ctx = self._requests.mint("query")
+        return self.store().query(epoch, lo, hi, keys_only=keys_only, ctx=ctx)
 
     def explain(
         self, epoch: int, lo: float, hi: float, keys_only: bool = False
@@ -153,13 +196,37 @@ class Session:
         target = Path(path) if path is not None else self.out_dir / "metrics.json"
         return self.obs.metrics.write_json(target)
 
+    def write_exposition(self, path: Path | str | None = None) -> Path:
+        """Persist the OpenMetrics-style text exposition (``metrics.om``)."""
+        from repro.obs import render_openmetrics
+
+        target = Path(path) if path is not None else self.out_dir / "metrics.om"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(render_openmetrics(self.obs.metrics.snapshot()))
+        return target
+
     def close(self) -> None:
-        """Close views, the run, and any session-owned executor."""
+        """Close views, the run, and any session-owned executor.
+
+        With telemetry attached, the run teardown (final shard barrier)
+        is followed by one ``final`` full sample — the sample SLO
+        policies with ``over="final"`` gate on — plus the OpenMetrics
+        exposition, before the session-owned sink closes.
+        """
         if self._closed:
             return
         self._closed = True
         self._invalidate_views()
         self.run.close()
+        if self.telemetry is not None:
+            self.telemetry.sample(
+                "final",
+                derived={"retries_done": float(self.executor.retries_done)},
+            )
+            self.write_exposition()
+        if self._telemetry_file is not None:
+            self._telemetry_file.close()
+            self._telemetry_file = None
         if self._exec_owned:
             self.executor.close()
 

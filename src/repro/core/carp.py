@@ -38,7 +38,14 @@ from repro.faults.plan import (
     FaultPlan,
     InjectedCrashError,
 )
-from repro.obs import MESSAGE_TICK, NULL_OBS, RECORD_TICK, ROUND_TICK, Obs
+from repro.obs import (
+    MESSAGE_TICK,
+    NULL_OBS,
+    RECORD_TICK,
+    ROUND_TICK,
+    Obs,
+    RequestContext,
+)
 from repro.shuffle.flow import DelayQueue, ShuffleMessage
 from repro.shuffle.router import range_route, split_by_destination
 from repro.storage.koidb import KoiDB
@@ -313,7 +320,12 @@ class CarpRun:
 
     # -------------------------------------------------------------- epoch
 
-    def ingest_epoch(self, epoch: int, streams: list[RecordBatch]) -> EpochStats:
+    def ingest_epoch(
+        self,
+        epoch: int,
+        streams: list[RecordBatch],
+        ctx: RequestContext | None = None,
+    ) -> EpochStats:
         """Ingest one checkpoint epoch.
 
         ``streams[r]`` is the record stream produced by application rank
@@ -321,6 +333,12 @@ class CarpRun:
         "for new epochs CARP bootstraps partitions from scratch").
         Returns the epoch's statistics; the partitioned data is on disk
         when this returns.
+
+        ``ctx`` (minted by :class:`~repro.api.Session`) attributes every
+        span and telemetry sample of this epoch — driver- and
+        worker-side — to one request id.  Without a context the epoch
+        records exactly as before; nothing extra enters the command
+        streams.
         """
         if len(streams) != self.nranks:
             raise ValueError(f"need {self.nranks} streams, got {len(streams)}")
@@ -333,6 +351,15 @@ class CarpRun:
         total_records = sum(len(s) for s in streams)
         if total_records == 0:
             raise ValueError("cannot ingest an empty epoch")
+        rid = ctx.request_id if ctx is not None else None
+        if self._obs_on and rid is not None:
+            # driver-side spans pick the id up from the obs stack;
+            # storage-side spans via set_request, which the serial path
+            # applies immediately and the parallel path replays as a
+            # ("ctx", rid) command at the same stream position
+            self.obs.request_id = rid
+            for db in self.koidbs:
+                db.set_request(rid)
 
         if self.options.warm_start and self.table is not None:
             # reuse the previous epoch's final table: ranks rebin their
@@ -368,9 +395,12 @@ class CarpRun:
         # a crashed epoch leaves this span open, marking the crash
         # point.  The per-epoch span name is bounded by the epoch
         # count, the sanctioned exception to static instrument names.
+        epoch_args: dict[str, object] = {"epoch": epoch, "records": total_records}
+        if rid is not None:
+            epoch_args["request"] = rid
         obs.tracer.begin(
             self._tr_epoch, f"epoch {epoch}", obs.clock.now(),  # carp-lint: disable-line=O503
-            {"epoch": epoch, "records": total_records},
+            epoch_args,
         )
 
         chunk = self.options.round_records
@@ -379,6 +409,10 @@ class CarpRun:
             self._round_idx = round_idx
             if self._obs_on:
                 obs.clock.advance(ROUND_TICK)
+                # interval telemetry: driver-scoped counters only, so
+                # the sample is identical whether worker deltas merge
+                # live (serial) or at barriers (parallel)
+                obs.telemetry.tick()
             pending: dict[int, RecordBatch] = {}
             round_records = 0
             for r, stream in enumerate(streams):
@@ -467,6 +501,14 @@ class CarpRun:
             {"strays": stats.stray_records,
              "renegotiations": stats.renegotiations},
         )
+        if self._obs_on:
+            # barrier-aligned full sample: worker deltas just merged,
+            # so the whole registry is deterministic here
+            obs.telemetry.sample(
+                "epoch", epoch=epoch, request=rid,
+                derived={"retries_done": float(self._executor.retries_done)},
+            )
+            self.obs.request_id = None
         return stats
 
     def _finish_all_ranks(self) -> None:
@@ -582,9 +624,13 @@ class CarpRun:
         if all(p is None for p in pivot_sets):
             return  # nothing observed anywhere; keep waiting
         obs = self.obs
+        reneg_args: dict[str, object] = {
+            "round": self._round_idx, "reason": reason.value,
+        }
+        if obs.request_id is not None:
+            reneg_args["request"] = obs.request_id
         obs.tracer.begin(
-            self._tr_reneg, reason.value, obs.clock.now(),
-            {"round": self._round_idx, "reason": reason.value},
+            self._tr_reneg, reason.value, obs.clock.now(), reneg_args,
         )
         bounds, reneg = negotiate(
             pivot_sets,

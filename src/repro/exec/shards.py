@@ -63,6 +63,18 @@ class KoiDBProxy:
     def finish_epoch(self) -> None:
         self._client.enqueue(self.rank, ("finish",))
 
+    def set_request(self, request_id: str | None) -> None:
+        """Enqueue a request-context switch into the command stream.
+
+        Replayed by ``koidb_apply`` as ``obs.request_id = request_id``
+        at the same stream position where a serial driver would call
+        ``KoiDB.set_request``, so worker-side flush spans carry the
+        same ``request`` attribution as serial ones.  Context commands
+        carry no records and never trigger an auto-flush, so task
+        boundaries — and therefore log bytes — are unchanged.
+        """
+        self._client.enqueue(self.rank, ("ctx", request_id))
+
     def close(self) -> None:
         self._client.close_rank(self.rank)
 

@@ -38,7 +38,9 @@ from repro.storage.manifest import ManifestEntry
 
 #: Command verbs of the KoiDB replay stream, in the order CarpRun
 #: emits them: ("begin", epoch) | ("own", lo, hi, inclusive_hi) |
-#: ("ingest", RecordBatch) | ("finish",) | ("close",)
+#: ("ingest", RecordBatch) | ("finish",) | ("close",) |
+#: ("ctx", request_id) — the last switches the worker obs stack's
+#: request attribution and never touches storage state
 KoiDBCommand = tuple[Any, ...]
 
 
@@ -54,6 +56,10 @@ class KoiDBApplyResult:
     #: the previous call (rank-local virtual timestamps; see
     #: :class:`repro.obs.buffer.BufferingTracer`)
     spans: list[SpanRecord]
+    #: the request context in effect when the replay batch finished
+    #: (the newest ``("ctx", ...)`` command seen), attributing this
+    #: result's metric delta to its originating request
+    request_id: str | None = None
 
 
 @stateful_task
@@ -128,6 +134,8 @@ def koidb_apply(
             db.close()
             state.pop("koidb", None)
             state["closed"] = True
+        elif verb == "ctx":
+            db.set_request(command[1])
         else:
             raise ValueError(f"unknown KoiDB command {verb!r}")
     obs = state["obs"]
@@ -140,6 +148,7 @@ def koidb_apply(
         log_offset=db.log.offset,
         metrics=delta,
         spans=obs.tracer.drain(),
+        request_id=obs.request_id,
     )
 
 

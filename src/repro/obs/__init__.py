@@ -32,6 +32,7 @@ from types import TracebackType
 
 from repro.obs.buffer import BufferingTracer
 from repro.obs.clock import Clock, NullClock, VirtualClock
+from repro.obs.context import RequestContext, RequestIdAllocator
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -39,6 +40,11 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
     snapshot_delta,
+)
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    TelemetryStream,
+    render_openmetrics,
 )
 from repro.obs.tracer import (
     ChromeTracer,
@@ -66,6 +72,11 @@ __all__ = [
     "Tracer",
     "Track",
     "validate_trace_events",
+    "RequestContext",
+    "RequestIdAllocator",
+    "TelemetryStream",
+    "NULL_TELEMETRY",
+    "render_openmetrics",
     "Obs",
     "Span",
     "NULL_OBS",
@@ -137,14 +148,24 @@ class Obs:
     ``simulate_ingestion``).
     """
 
-    __slots__ = ("clock", "metrics", "tracer", "enabled")
+    __slots__ = ("clock", "metrics", "tracer", "enabled", "request_id",
+                 "telemetry")
 
     def __init__(self, clock: Clock, metrics: MetricsRegistry,
-                 tracer: Tracer, enabled: bool = True) -> None:
+                 tracer: Tracer, enabled: bool = True,
+                 telemetry: TelemetryStream | None = None) -> None:
         self.clock = clock
         self.metrics = metrics
         self.tracer = tracer
         self.enabled = enabled
+        #: the in-flight request id (see :class:`RequestContext`);
+        #: spans opened while set carry a ``request`` arg.  Set/reset
+        #: by the driver around each request and replayed into worker
+        #: stacks via the ``("ctx", request_id)`` KoiDB command.
+        self.request_id: str | None = None
+        #: the attached telemetry stream; :data:`NULL_TELEMETRY` when
+        #: no stream is wired, so hot-path hooks stay branch-free.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     @classmethod
     def recording(cls) -> "Obs":
@@ -184,12 +205,21 @@ class Obs:
 
     def span(self, track: Track, name: str, dur: float = 0.0,
              args: dict[str, object] | None = None) -> Span | _NullSpan:
-        """Open a span that advances the clock by ``dur`` on exit."""
+        """Open a span that advances the clock by ``dur`` on exit.
+
+        While a request id is set on this stack (driver-side around
+        each ingest/query, worker-side via the ``("ctx", ...)``
+        command), the span's args gain a ``request`` entry so
+        ``carp-trace --request <id>`` can pull one request's
+        cross-worker tree out of the merged timeline.
+        """
         if not self.enabled:
             return _NULL_SPAN
+        if self.request_id is not None:
+            args = {**(args or {}), "request": self.request_id}
         return Span(self, track, name, dur, args)
 
 
 #: The do-nothing stack every instrumented subsystem defaults to.
 NULL_OBS = Obs(NullClock(), NullMetricsRegistry(), NullTracer(),
-               enabled=False)
+               enabled=False, telemetry=NULL_TELEMETRY)

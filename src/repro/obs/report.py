@@ -99,24 +99,62 @@ def track_table(events: list[dict[str, object]]) -> str:
     return render_table(headers, rows)
 
 
+def normalize_snapshot(
+    snapshot: dict[str, object],
+) -> tuple[dict[str, object], list[str]]:
+    """Fill in sections an older ``metrics.json`` may lack.
+
+    Snapshots recorded before histograms existed carry only
+    ``counters``/``gauges``; rendering such an archive must degrade,
+    not crash.  Returns the snapshot with every section present (empty
+    where missing) plus human-readable annotations naming what was
+    filled in — the report prints them so a legacy artifact is
+    labelled, never silently mistaken for a complete recording.
+    """
+    annotations: list[str] = []
+    normalized = dict(snapshot)
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(normalized.get(section), dict):
+            if section in normalized:
+                annotations.append(
+                    f"legacy snapshot: malformed {section!r} section replaced "
+                    "with an empty one"
+                )
+            else:
+                annotations.append(
+                    f"legacy snapshot: no {section!r} section "
+                    "(recorded by an older carp-trace); table omitted"
+                )
+            normalized[section] = {}
+    return normalized, annotations
+
+
 def metrics_table(snapshot: dict[str, object]) -> str:
     """Counter/gauge totals from a metrics snapshot."""
     rows: list[list[object]] = []
     counters = snapshot.get("counters")
     if isinstance(counters, dict):
         for name, value in sorted(counters.items()):
-            shown = (fmt_bytes(float(value)) if "bytes" in name
-                     else f"{value:g}")
-            rows.append(["counter", name, shown])
+            if not isinstance(value, (int, float)):
+                rows.append(["counter", name, str(value)])
+            elif "bytes" in name:
+                rows.append(["counter", name, fmt_bytes(float(value))])
+            else:
+                rows.append(["counter", name, f"{value:g}"])
     gauges = snapshot.get("gauges")
     if isinstance(gauges, dict):
         for name, value in sorted(gauges.items()):
-            rows.append(["gauge", name, f"{float(value):.3f}"])
+            shown = (f"{float(value):.3f}"
+                     if isinstance(value, (int, float)) else str(value))
+            rows.append(["gauge", name, shown])
     histograms = snapshot.get("histograms")
     if isinstance(histograms, dict):
         for name, h in sorted(histograms.items()):
             if isinstance(h, dict):
-                summary = f"n={h.get('count')} mean={float(h.get('mean', 0.0)):.2f}"
+                mean = h.get("mean", 0.0)
+                mean_s = (f"{float(mean):.2f}"
+                          if isinstance(mean, (int, float)) else "-")
+                summary = f"n={h.get('count')} mean={mean_s}"
                 quantiles = " ".join(
                     f"{q}<={float(v):.2f}"
                     for q in ("p50", "p95", "p99")
@@ -143,10 +181,10 @@ class _ClosedSpan(NamedTuple):
     args: dict[str, object]
 
 
-def _closed_spans(
-    events: list[dict[str, object]], n: int
-) -> list[_ClosedSpan]:
-    """The ``n`` longest closed spans per track type, longest first."""
+def _resolve_spans(
+    events: list[dict[str, object]],
+) -> dict[str, list[_ClosedSpan]]:
+    """Resolve every closed span, grouped by track type, in event order."""
     pid_names: dict[object, str] = {}
     lane_names: dict[tuple[object, object], str] = {}
     spans: dict[str, list[_ClosedSpan]] = {}
@@ -194,6 +232,14 @@ def _closed_spans(
                 if isinstance(t0, (int, float)):
                     push(pid, tid, begin.get("name"), float(t0),
                          float(ts) - float(t0), begin.get("args"))
+    return spans
+
+
+def _closed_spans(
+    events: list[dict[str, object]], n: int
+) -> list[_ClosedSpan]:
+    """The ``n`` longest closed spans per track type, longest first."""
+    spans = _resolve_spans(events)
     out: list[_ClosedSpan] = []
     for track in sorted(spans):
         ranked = sorted(spans[track], key=lambda s: (-s.dur, s.ts, s.name))
@@ -221,6 +267,51 @@ def top_spans_table(events: list[dict[str, object]], n: int) -> str:
     rows = []
     for s in _closed_spans(events, n):
         attribution = " ".join(f"{k}={v}" for k, v in s.args.items())
+        rows.append([
+            s.track, s.lane, s.name, f"{s.ts:.2f}", f"{s.dur:.3f}",
+            attribution,
+        ])
+    return render_table(
+        ["track", "lane", "span", "ts", "dur (ticks)", "attribution"], rows
+    )
+
+
+def _request_spans(
+    events: list[dict[str, object]], request_id: str
+) -> list[_ClosedSpan]:
+    matched: list[_ClosedSpan] = []
+    for track_spans in _resolve_spans(events).values():
+        for span in track_spans:
+            if span.args.get("request") == request_id:
+                matched.append(span)
+    matched.sort(key=lambda s: (s.ts, s.track, s.lane, s.name))
+    return matched
+
+
+def request_spans(
+    events: list[dict[str, object]], request_id: str
+) -> list[dict[str, object]]:
+    """Every closed span attributed to one request, in timeline order.
+
+    Spans carry their request id in ``args["request"]`` (set by
+    ``Obs.span`` while the driver or a worker replays the request's
+    context — see :mod:`repro.obs.context`); this pulls one request's
+    cross-worker tree out of the merged trace.  Ordering is by start
+    time, then track/lane name, so the same trace yields the same tree
+    on every backend.
+    """
+    return [s._asdict() for s in _request_spans(events, request_id)]
+
+
+def request_tree_table(
+    events: list[dict[str, object]], request_id: str
+) -> str:
+    """Render :func:`request_spans` as a timeline table."""
+    rows = []
+    for s in _request_spans(events, request_id):
+        attribution = " ".join(
+            f"{k}={v}" for k, v in s.args.items() if k != "request"
+        )
         rows.append([
             s.track, s.lane, s.name, f"{s.ts:.2f}", f"{s.dur:.3f}",
             attribution,

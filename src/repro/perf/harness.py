@@ -31,7 +31,7 @@ from typing import Any
 from repro.bench.results import emit, results_dir
 from repro.bench.tables import render_table
 from repro.core.carp import CarpRun
-from repro.obs import Obs
+from repro.obs import Obs, TelemetryStream
 from repro.perf.workloads import WorkloadSpec
 from repro.query.engine import PartitionedStore
 from repro.storage.compactor import compact_all_epochs
@@ -171,10 +171,68 @@ def _run_compact(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
     ]
 
 
+def _run_obs_overhead(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
+    """Prove the disabled-observability path stays zero-cost.
+
+    Runs the same ingest twice — once under the shared ``NULL_OBS``
+    stack, once fully recording with a streaming telemetry sink — and
+    gates on *exact* zero side effects from the null run: no
+    instruments registered, no virtual time accumulated, no telemetry
+    lines written.  The wall-clock rows compare the two runs for trend
+    visibility (advisory, like every wall metric).
+    """
+    null_obs = Obs.null()
+    wall0 = time.perf_counter()
+    _ingest(spec, scratch / "db-null", null_obs)
+    wall_null = time.perf_counter() - wall0
+
+    null_snapshot = null_obs.metrics.snapshot()
+    null_side_effects = (
+        sum(len(section) for section in null_snapshot.values()
+            if isinstance(section, dict))
+        + (0 if null_obs.clock.now() == 0.0 else 1)
+        + null_obs.telemetry.lines_written
+        + (1 if null_obs.telemetry.enabled else 0)
+        + (1 if null_obs.enabled else 0)
+    )
+
+    obs = Obs.recording()
+    telemetry_path = scratch / "telemetry.jsonl"
+    with telemetry_path.open("w", encoding="utf-8") as sink:
+        obs.telemetry = TelemetryStream(
+            obs.metrics, obs.clock, sink,
+            record_bytes=4 + spec.options().value_size,
+        )
+        wall0 = time.perf_counter()
+        _ingest(spec, scratch / "db-rec", obs)
+        wall_rec = time.perf_counter() - wall0
+    recording_snapshot = obs.metrics.snapshot()
+    recording_instruments = sum(
+        len(section) for section in recording_snapshot.values()
+        if isinstance(section, dict)
+    )
+    return [
+        Metric("null_side_effects", null_side_effects, "effects",
+               "exact", 0.0),
+        Metric("telemetry_lines", obs.telemetry.lines_written, "lines",
+               "exact", 0.0),
+        Metric("recording_instruments", recording_instruments,
+               "instruments", "exact", 0.0),
+        Metric("ingest_virtual_ticks", obs.clock.now(), "ticks",
+               "virtual", VIRTUAL_TOLERANCE),
+        Metric("wall_null_seconds", wall_null, "s", "wall", WALL_TOLERANCE),
+        Metric("wall_recording_seconds", wall_rec, "s",
+               "wall", WALL_TOLERANCE),
+        Metric("wall_overhead_ratio", wall_rec / max(wall_null, 1e-9),
+               "x", "wall", WALL_TOLERANCE),
+    ]
+
+
 _RUNNERS = {
     "ingest": _run_ingest,
     "query": _run_query,
     "compact": _run_compact,
+    "obs-overhead": _run_obs_overhead,
 }
 
 

@@ -26,7 +26,7 @@ class WorkloadSpec:
     """One deterministic benchmark workload."""
 
     name: str
-    #: ``ingest`` | ``query`` | ``compact``
+    #: ``ingest`` | ``query`` | ``compact`` | ``obs-overhead``
     kind: str
     #: ``serial`` | ``thread`` | ``process``
     backend: str
@@ -69,6 +69,7 @@ def _registry() -> dict[str, WorkloadSpec]:
         WorkloadSpec("query-process", "query", "process"),
         WorkloadSpec("compact-serial", "compact", "serial"),
         WorkloadSpec("compact-process", "compact", "process"),
+        WorkloadSpec("obs-overhead", "obs-overhead", "serial"),
     ]
     return {s.name: s for s in specs}
 

@@ -24,7 +24,7 @@ from repro.core.records import RecordBatch
 from repro.exec.api import Executor
 from repro.exec.factory import resolve_executor
 from repro.exec.work import LogProbeResult, probe_entries, probe_log
-from repro.obs import NULL_OBS, Obs
+from repro.obs import NULL_OBS, Obs, RequestContext
 from repro.sim.iomodel import IOModel
 from repro.storage.log import LogReader, list_logs
 from repro.storage.manifest import ManifestEntry
@@ -99,6 +99,12 @@ class PartitionedStore:
         self._m_ssts_read = metrics.counter("query.ssts_read")
         self._m_matched = metrics.counter("query.records_matched")
         self._m_io_bytes = metrics.counter("io.bytes_charged")
+        # modeled end-to-end latency distribution, in virtual seconds —
+        # the p50/p95/p99 source for telemetry samples and SLO gating
+        self._m_latency = metrics.histogram(
+            "query.latency",
+            (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0),
+        )
         paths = list_logs(self.directory)
         if not paths:
             raise FileNotFoundError(f"no KoiDB logs under {self.directory}")
@@ -163,7 +169,12 @@ class PartitionedStore:
     # -------------------------------------------------------------- query
 
     def query(
-        self, epoch: int, lo: float, hi: float, keys_only: bool = False
+        self,
+        epoch: int,
+        lo: float,
+        hi: float,
+        keys_only: bool = False,
+        ctx: RequestContext | None = None,
     ) -> QueryResult:
         """Execute a range query for keys in ``[lo, hi]``.
 
@@ -174,6 +185,10 @@ class PartitionedStore:
         query client fetches key blocks first (§VII-A), and analyses
         that only need the indexed attribute skip the value blocks
         entirely.  The result's rids are then zero-filled.
+
+        ``ctx`` (minted by :class:`~repro.api.Session`) tags the query
+        and per-log probe spans, and the post-query telemetry sample,
+        with the request id.
         """
         if hi < lo:
             raise ValueError(f"empty query range [{lo}, {hi}]")
@@ -213,31 +228,46 @@ class PartitionedStore:
             + self.io.scan_time(bytes_read),
         )
         if self.obs.enabled:
+            rid = ctx.request_id if ctx is not None else None
             # one span per query; the modeled latency is the virtual
             # duration, with one per-log "probe" breakdown span priced
             # at that log's share of the modeled read time
             t0 = self.obs.clock.now()
             self.obs.clock.advance(cost.latency)
             for reader_idx, probe in probes:
+                probe_args: dict[str, object] = {
+                    "log": self._paths[reader_idx].name,
+                    "ssts": probe.requests, "bytes": probe.bytes_read,
+                    "scanned": probe.scanned, "matched": probe.matched,
+                }
+                if rid is not None:
+                    probe_args["request"] = rid
                 self.obs.tracer.complete(
                     self.obs.track("query", self._paths[reader_idx].name),
                     "probe", t0,
                     self.io.read_time(probe.bytes_read, probe.requests),
-                    {"log": self._paths[reader_idx].name,
-                     "ssts": probe.requests, "bytes": probe.bytes_read,
-                     "scanned": probe.scanned, "matched": probe.matched},
+                    probe_args,
                 )
+            query_args: dict[str, object] = {
+                "epoch": epoch, "lo": lo, "hi": hi,
+                "ssts_read": cost.ssts_read, "bytes_read": bytes_read,
+                "matched": len(keys), "keys_only": keys_only,
+            }
+            if rid is not None:
+                query_args["request"] = rid
             self.obs.tracer.complete(
-                self._tr_query, "query", t0, cost.latency,
-                {"epoch": epoch, "lo": lo, "hi": hi,
-                 "ssts_read": cost.ssts_read, "bytes_read": bytes_read,
-                 "matched": len(keys), "keys_only": keys_only},
+                self._tr_query, "query", t0, cost.latency, query_args,
             )
             self._m_probe_bytes.add(bytes_read)
             self._m_requests.add(requests)
             self._m_ssts_read.add(len(candidates))
             self._m_matched.add(len(keys))
             self._m_io_bytes.add(bytes_read)
+            self._m_latency.observe(cost.latency)
+            if ctx is not None:
+                # queries run outside ingest barriers, so the registry
+                # is fully merged here on every backend
+                self.obs.telemetry.sample("query", request=rid)
         return QueryResult(lo, hi, epoch, keys, rids, cost)
 
     def _probe(

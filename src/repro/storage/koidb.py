@@ -156,6 +156,17 @@ class KoiDB:
     def close(self) -> None:
         self.log.close()
 
+    def set_request(self, request_id: str | None) -> None:
+        """Attribute subsequent storage spans to one request.
+
+        Mirrors the ``("ctx", request_id)`` command a
+        :class:`~repro.exec.shards.KoiDBProxy` enqueues for parallel
+        workers: the serial driver calls this directly on each rank's
+        KoiDB at the same command-stream position, so flush spans carry
+        identical ``request`` args on every executor backend.
+        """
+        self.obs.request_id = request_id
+
     # ------------------------------------------------------------ routing
 
     def set_owned_range(self, lo: float, hi: float, inclusive_hi: bool) -> None:

@@ -1,14 +1,20 @@
 """``carp-trace`` — record an instrumented CARP run and emit its trace.
 
-Drives a synthetic VPIC (or AMR) workload through the full logical
-pipeline with a recording observability stack, then writes three
-artifacts into the output directory:
+Drives a synthetic VPIC (or AMR) workload through a telemetry-enabled
+:class:`~repro.api.Session`, then writes the observability artifacts
+into the output directory:
 
 * ``trace.json`` — Chrome ``trace_event`` JSON; load it in Perfetto
   (https://ui.perfetto.dev) or ``chrome://tracing``.  One track per
   subsystem (route/shuffle/renegotiate/flush/query/epoch), timestamps
-  in virtual ticks.
-* ``metrics.json`` — the metrics snapshot (counters/gauges/histograms).
+  in virtual ticks.  Spans carry the request id of the ingest/query
+  that caused them.
+* ``metrics.json`` — the metrics snapshot (counters/gauges/histograms
+  with bucket bounds and p50/p95/p99).
+* ``telemetry.jsonl`` — the streaming samples (see
+  docs/OBSERVABILITY.md for the schema; ``carp-health`` gates on it).
+* ``metrics.om`` — OpenMetrics-style text exposition of the final
+  snapshot.
 * ``carp_run.json`` — the run manifest (config + per-epoch stats).
 
 Before exiting, the tool cross-checks the metrics totals against the
@@ -20,6 +26,12 @@ packages by carp-lint O501/D101): the report footer shows real
 elapsed time, which never feeds back into the recording.
 
     carp-trace -o /tmp/carp-obs --ranks 16 --epochs 3 --records 2000
+
+Two read-only modes work on archived artifacts, tolerating legacy
+``metrics.json`` files that predate histogram snapshots:
+
+    carp-trace --report /tmp/carp-obs            # re-render the report
+    carp-trace --report /tmp/carp-obs --request query-000002
 """
 
 from __future__ import annotations
@@ -30,12 +42,16 @@ import sys
 import time
 from pathlib import Path
 
-from repro.core.carp import CarpRun
+from repro.api import Session
 from repro.core.config import CarpOptions
 from repro.core.records import RecordBatch
 from repro.obs import Obs, validate_trace_events
-from repro.obs.report import render_report, top_spans_table
-from repro.query.engine import PartitionedStore
+from repro.obs.report import (
+    normalize_snapshot,
+    render_report,
+    request_tree_table,
+    top_spans_table,
+)
 from repro.traces.amr import AmrTraceSpec
 from repro.traces.amr import generate_timestep as amr_timestep
 from repro.traces.vpic import VpicTraceSpec
@@ -47,11 +63,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="carp-trace",
         description=(
             "Run an instrumented synthetic CARP ingestion and write a "
-            "Perfetto-loadable trace plus a metrics snapshot."
+            "Perfetto-loadable trace plus metrics/telemetry snapshots; "
+            "or re-render reports from archived artifacts."
         ),
     )
-    p.add_argument("-o", "--output", required=True, type=Path,
-                   help="output directory (trace.json, metrics.json, DB logs)")
+    p.add_argument("-o", "--output", type=Path, default=None,
+                   help="output directory (trace.json, metrics.json, "
+                        "telemetry.jsonl, DB logs)")
+    p.add_argument("--report", type=Path, default=None, metavar="DIR",
+                   help="render the report from an existing artifact "
+                        "directory instead of running a workload")
+    p.add_argument("--request", type=str, default=None, metavar="ID",
+                   help="print the named request's cross-worker span tree "
+                        "(e.g. ingest-000001, query-000003)")
     p.add_argument("--ranks", type=int, default=16)
     p.add_argument("--epochs", type=int, default=3)
     p.add_argument("--records", type=int, default=2000,
@@ -89,17 +113,17 @@ def _epoch_streams(args: argparse.Namespace, epoch: int) -> list[RecordBatch]:
     return gen(spec, min(idx, nsteps - 1))
 
 
-def _run_queries(db_dir: Path, epochs: int, nqueries: int, obs: Obs) -> int:
+def _run_queries(session: Session, epochs: int, nqueries: int) -> int:
     """Execute ``nqueries`` selective range queries per stored epoch."""
     ran = 0
-    with PartitionedStore(db_dir, obs=obs) as store:
-        for epoch in store.epochs()[:epochs]:
-            lo, hi = store.key_range(epoch)
-            width = (hi - lo) / max(nqueries * 4, 1)
-            for q in range(nqueries):
-                qlo = lo + (hi - lo) * q / max(nqueries, 1)
-                store.query(epoch, qlo, qlo + width)
-                ran += 1
+    store = session.store()
+    for epoch in store.epochs()[:epochs]:
+        lo, hi = store.key_range(epoch)
+        width = (hi - lo) / max(nqueries * 4, 1)
+        for q in range(nqueries):
+            qlo = lo + (hi - lo) * q / max(nqueries, 1)
+            session.query(epoch, qlo, qlo + width)
+            ran += 1
     return ran
 
 
@@ -131,8 +155,61 @@ def _reconcile(obs: Obs, run_doc: dict[str, object],
     return errors
 
 
+def _report_mode(args: argparse.Namespace) -> int:
+    """Re-render reports from an archived artifact directory."""
+    directory: Path = args.report
+    trace_path = directory / "trace.json"
+    metrics_path = directory / "metrics.json"
+    run_path = directory / "db" / "carp_run.json"
+    if not run_path.exists():
+        run_path = directory / "carp_run.json"
+    try:
+        trace_doc = json.loads(trace_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {trace_path}: {exc}", file=sys.stderr)
+        return 2
+    events = trace_doc.get("traceEvents")
+    if not isinstance(events, list):
+        print(f"error: {trace_path} has no traceEvents list", file=sys.stderr)
+        return 2
+    if args.request is not None:
+        print(f"Spans for request {args.request}")
+        print(request_tree_table(events, args.request))
+        return 0
+    try:
+        snapshot = json.loads(metrics_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {metrics_path}: {exc}", file=sys.stderr)
+        return 2
+    # older recordings may predate histogram (or even gauge) sections;
+    # degrade to what the snapshot has and say so, never crash
+    snapshot, annotations = normalize_snapshot(snapshot)
+    run_doc: dict[str, object] = {}
+    if run_path.exists():
+        try:
+            run_doc = json.loads(run_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            annotations.append(f"run manifest unreadable ({exc})")
+    else:
+        annotations.append("run manifest not found; header shows no epochs")
+    print(render_report(run_doc, snapshot, events))
+    if args.top > 0:
+        print()
+        print(f"Top {args.top} spans per track type")
+        print(top_spans_table(events, args.top))
+    for note in annotations:
+        print(f"note: {note}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.report is not None:
+        return _report_mode(args)
+    if args.output is None:
+        print("error: -o/--output is required unless --report is given",
+              file=sys.stderr)
+        return 2
     if args.ranks < 1 or args.epochs < 1 or args.records < 1:
         print("error: --ranks/--epochs/--records must be positive",
               file=sys.stderr)
@@ -144,25 +221,31 @@ def main(argv: list[str] | None = None) -> int:
 
     obs = Obs.recording()
     opts = CarpOptions(value_size=8)
-    with CarpRun(args.ranks, db_dir, opts, obs=obs) as run:
+    nqueries = 0
+    with Session(args.ranks, db_dir, opts, obs=obs, telemetry=True) as session:
         for epoch in range(args.epochs):
-            run.ingest_epoch(epoch, _epoch_streams(args, epoch))
-        manifest_path = run.write_run_manifest()
+            session.ingest_epoch(epoch, _epoch_streams(args, epoch))
+        manifest_path = session.run.write_run_manifest()
         koidb_totals = {
-            "records_in": sum(db.stats.records_in for db in run.koidbs),
-            "stray_records": sum(db.stats.stray_records for db in run.koidbs),
-            "ssts_written": sum(db.stats.ssts_written for db in run.koidbs),
-            "stray_ssts_written": sum(
-                db.stats.stray_ssts_written for db in run.koidbs
+            "records_in": sum(db.stats.records_in for db in session.run.koidbs),
+            "stray_records": sum(
+                db.stats.stray_records for db in session.run.koidbs
             ),
-            "bytes_written": sum(db.stats.bytes_written for db in run.koidbs),
+            "ssts_written": sum(
+                db.stats.ssts_written for db in session.run.koidbs
+            ),
+            "stray_ssts_written": sum(
+                db.stats.stray_ssts_written for db in session.run.koidbs
+            ),
+            "bytes_written": sum(
+                db.stats.bytes_written for db in session.run.koidbs
+            ),
             "memtable_flushes": sum(
-                db.stats.memtable_flushes for db in run.koidbs
+                db.stats.memtable_flushes for db in session.run.koidbs
             ),
         }
-    nqueries = 0
-    if args.queries > 0:
-        nqueries = _run_queries(db_dir, args.epochs, args.queries, obs)
+        if args.queries > 0:
+            nqueries = _run_queries(session, args.epochs, args.queries)
 
     run_doc = json.loads(manifest_path.read_text())
     errors = _reconcile(obs, run_doc, koidb_totals)
@@ -182,12 +265,17 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(f"Top {args.top} spans per track type")
         print(top_spans_table(events, args.top))
+    if args.request is not None:
+        print()
+        print(f"Spans for request {args.request}")
+        print(request_tree_table(events, args.request))
     print()
-    print(f"trace:   {trace_path} ({len(events)} events, "
+    print(f"trace:     {trace_path} ({len(events)} events, "
           f"{nqueries} queries traced)")
-    print(f"metrics: {metrics_path}")
-    print(f"run:     {manifest_path}")
-    print(f"elapsed: {time.perf_counter() - t0:.2f}s wall")
+    print(f"metrics:   {metrics_path}")
+    print(f"telemetry: {db_dir / 'telemetry.jsonl'}")
+    print(f"run:       {manifest_path}")
+    print(f"elapsed:   {time.perf_counter() - t0:.2f}s wall")
 
     if errors:
         for e in errors:

@@ -136,6 +136,86 @@ def test_obs_package_exempt_from_o503():
     assert not _rule("O503").applies(ctx)
 
 
+def test_bad_telemetry_fixture_triggers_o504(fixtures_dir):
+    result = lint_paths(
+        [fixtures_dir / "bad_telemetry.py"], rules=select_rules(["O"])
+    )
+    by_rule = result.by_rule()
+    # module open, module time.time, class-body read_text,
+    # constructor open, constructor time.monotonic
+    assert len(by_rule.get("O504", [])) == 5
+    # everything else in the fixture is either clean or suppressed
+    assert set(by_rule) == {"O504"}
+
+
+def test_good_telemetry_fixture_is_o504_clean(fixtures_dir):
+    result = lint_paths(
+        [fixtures_dir / "good_telemetry.py"], rules=select_rules(["O"])
+    )
+    assert result.by_rule().get("O504", []) == []
+
+
+def test_o504_flags_module_scope_open():
+    violations = _check("O504", "SINK = open('t.jsonl', 'a')\n")
+    assert len(violations) == 1
+    assert "module scope" in violations[0].message
+
+
+def test_o504_flags_constructor_wall_clock():
+    src = (
+        "import time\n"
+        "class Exporter:\n"
+        "    def __init__(self):\n"
+        "        self.t0 = time.monotonic()\n"
+    )
+    violations = _check("O504", src)
+    assert len(violations) == 1
+    assert "constructor scope" in violations[0].message
+
+
+def test_o504_injected_constructor_is_clean():
+    src = (
+        "class Stream:\n"
+        "    def __init__(self, metrics, clock, sink):\n"
+        "        self.sink = sink\n"
+        "        self.next_due = clock.now() + 10.0\n"
+    )
+    assert _check("O504", src) == []
+
+
+def test_o504_method_bodies_may_persist():
+    # an explicit persist call (ChromeTracer.write-style) is sanctioned
+    src = (
+        "class Tracer:\n"
+        "    def write(self, path):\n"
+        "        with open(path, 'w') as fh:\n"
+        "            fh.write('{}')\n"
+    )
+    assert _check("O504", src) == []
+
+
+def test_o504_deferred_bodies_are_exempt():
+    # defining a closure at import time is fine; only executing the
+    # acquiring call is not
+    src = (
+        "def make_sink(path):\n"
+        "    return open(path, 'a')\n"
+        "FACTORY = lambda p: open(p, 'a')\n"
+    )
+    assert _check("O504", src) == []
+
+
+def test_o504_applies_inside_obs_package_only():
+    src = "SINK = open('t.jsonl', 'a')\n"
+    rule = _rule("O504")
+    obs_ctx = FileContext.from_source(
+        src, Path("src/repro/obs/telemetry.py")
+    )
+    core_ctx = FileContext.from_source(src, Path("src/repro/core/carp.py"))
+    assert rule.applies(obs_ctx)
+    assert not rule.applies(core_ctx)
+
+
 def test_repo_is_o_clean(repo_src):
     result = lint_paths([repo_src], rules=select_rules(["O"]))
     assert result.violations == []

@@ -1,0 +1,238 @@
+"""HealthPolicy parsing and SLO evaluation over telemetry samples."""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+from repro.obs.health import (
+    HealthPolicy,
+    HealthRule,
+    evaluate,
+    parse_policy,
+    parse_telemetry_lines,
+)
+
+
+def _sample(seq, kind="epoch", **sections):
+    doc = {"kind": kind, "seq": seq, "ts": float(seq),
+           "counters": {}, "deltas": {}, "gauges": {}, "histograms": {},
+           "derived": {}}
+    doc.update(sections)
+    return doc
+
+
+def _policy(*rules):
+    return HealthPolicy(name="test", rules=tuple(rules))
+
+
+# ------------------------------------------------------------ rule shape
+
+
+def test_rule_rejects_unknown_section():
+    with pytest.raises(ValueError, match="must start with"):
+        HealthRule(selector="bogus.thing", max=1.0)
+
+
+def test_rule_needs_some_bound():
+    with pytest.raises(ValueError, match="max and/or min"):
+        HealthRule(selector="counters.faults.task_crashes")
+
+
+def test_rule_rejects_unknown_window():
+    with pytest.raises(ValueError, match="over="):
+        HealthRule(selector="counters.x", max=1.0, over="always")
+
+
+def test_histogram_selector_needs_a_stat():
+    with pytest.raises(ValueError, match="must end in"):
+        HealthRule(selector="histograms.query.latency", max=1.0)
+    # a metric name containing dots parses: stat is the last component
+    HealthRule(selector="histograms.query.latency.p99", max=1.0)
+
+
+# --------------------------------------------------------------- parsing
+
+
+def test_parse_policy_json_roundtrip():
+    doc = {
+        "name": "demo",
+        "rules": [
+            {"selector": "derived.read_amp", "max": 10.0,
+             "description": "bounded amplification"},
+            {"selector": "counters.faults.task_crashes", "max": 0,
+             "over": "any"},
+        ],
+    }
+    policy = parse_policy(json.dumps(doc))
+    assert policy.name == "demo"
+    assert policy.rules[0].max == 10.0
+    assert policy.rules[1].over == "any"
+
+
+def test_parse_policy_rejects_malformed_documents():
+    with pytest.raises(ValueError, match="rules"):
+        parse_policy(json.dumps({"name": "x"}))
+    with pytest.raises(ValueError, match="selector"):
+        parse_policy(json.dumps({"rules": [{"max": 1}]}))
+    with pytest.raises(ValueError, match="must be a number"):
+        parse_policy(json.dumps(
+            {"rules": [{"selector": "counters.x", "max": "big"}]}
+        ))
+    with pytest.raises(ValueError, match="unknown health policy format"):
+        parse_policy("{}", fmt="yaml")
+
+
+def test_parse_policy_toml_is_capability_gated():
+    toml = (
+        'name = "demo"\n'
+        "[[rules]]\n"
+        'selector = "derived.read_amp"\n'
+        "max = 10.0\n"
+    )
+    if sys.version_info >= (3, 11):
+        policy = parse_policy(toml, fmt="toml")
+        assert policy.rules[0].selector == "derived.read_amp"
+    else:
+        with pytest.raises(RuntimeError, match="JSON"):
+            parse_policy(toml, fmt="toml")
+
+
+def test_default_policy_file_parses():
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parents[2]
+    text = (repo / "configs" / "health_default.json").read_text()
+    policy = parse_policy(text)
+    assert policy.name == "carp-default"
+    assert len(policy.rules) >= 5
+
+
+# ------------------------------------------------------------ evaluation
+
+
+def test_final_window_checks_only_the_last_sample():
+    rule = HealthRule(selector="gauges.shuffle.in_flight_records", max=0)
+    samples = [
+        _sample(0, gauges={"shuffle.in_flight_records": 64.0}),
+        _sample(1, kind="final", gauges={"shuffle.in_flight_records": 0.0}),
+    ]
+    report = evaluate(_policy(rule), samples)
+    (result,) = report.results
+    assert result.status == "ok"
+    assert result.observed == 0.0
+
+
+def test_any_window_catches_mid_run_excursions():
+    rule = HealthRule(selector="gauges.shuffle.in_flight_records", max=0,
+                      over="any")
+    samples = [
+        _sample(0, gauges={"shuffle.in_flight_records": 64.0}),
+        _sample(1, kind="final", gauges={"shuffle.in_flight_records": 0.0}),
+    ]
+    report = evaluate(_policy(rule), samples)
+    (result,) = report.results
+    assert result.status == "breach"
+    assert result.observed == 64.0
+    assert result.at_seq == 0
+    assert not report.ok
+
+
+def test_ticks_are_ignored_by_evaluation():
+    rule = HealthRule(selector="counters.faults.task_crashes", max=0,
+                      over="any")
+    samples = [
+        {"kind": "tick", "seq": 0, "ts": 10.0,
+         "counters": {"faults.task_crashes": 5}, "gauges": {}},
+        _sample(1, kind="final", counters={"faults.task_crashes": 0}),
+    ]
+    report = evaluate(_policy(rule), samples)
+    assert report.results[0].status == "ok"
+    assert report.samples_seen == 1
+
+
+def test_unresolved_selector_is_skipped_not_breached():
+    rule = HealthRule(selector="counters.fsck.quarantined_files", max=0)
+    report = evaluate(_policy(rule), [_sample(0, kind="final")])
+    (result,) = report.results
+    assert result.status == "skipped"
+    assert "absent" in result.note
+    assert report.ok
+
+
+def test_empty_stream_skips_every_rule():
+    rule = HealthRule(selector="derived.read_amp", max=10.0)
+    report = evaluate(_policy(rule), [])
+    assert report.results[0].status == "skipped"
+    assert report.samples_seen == 0
+
+
+def test_histogram_stat_selector_resolves():
+    rule = HealthRule(selector="histograms.query.latency.p99", max=1.0)
+    hist = {"bounds": [0.1, 1.0], "counts": [0, 0, 3], "count": 3,
+            "sum": 15.0, "mean": 5.0, "min": 4.0, "max": 6.0,
+            "p50": 6.0, "p95": 6.0, "p99": 6.0}
+    samples = [_sample(0, kind="final",
+                       histograms={"query.latency": hist})]
+    report = evaluate(_policy(rule), samples)
+    (result,) = report.results
+    assert result.status == "breach"
+    assert result.observed == 6.0
+
+
+def test_min_bound_breaches_below():
+    rule = HealthRule(selector="deltas.carp.records_ingested", min=1.0)
+    report = evaluate(
+        _policy(rule),
+        [_sample(0, kind="final", deltas={"carp.records_ingested": 0.0})],
+    )
+    assert report.results[0].status == "breach"
+
+
+def test_worst_value_reported_across_window():
+    rule = HealthRule(selector="derived.read_amp", max=10.0, over="any")
+    samples = [
+        _sample(0, derived={"read_amp": 12.0}),
+        _sample(1, derived={"read_amp": 40.0}),
+        _sample(2, kind="final", derived={"read_amp": 2.0}),
+    ]
+    report = evaluate(_policy(rule), samples)
+    (result,) = report.results
+    assert result.observed == 40.0
+    assert result.at_seq == 1
+
+
+def test_report_render_and_to_dict():
+    rule = HealthRule(selector="derived.faults_total", max=0,
+                      description="clean run")
+    report = evaluate(
+        _policy(rule),
+        [_sample(0, kind="final", derived={"faults_total": 2.0})],
+    )
+    text = report.render()
+    assert "1 breach(es)" in text
+    assert "derived.faults_total" in text
+    assert "clean run" in text
+    doc = report.to_dict()
+    assert doc["ok"] is False
+    assert doc["results"][0]["status"] == "breach"
+    assert doc["results"][0]["observed"] == 2.0
+
+
+# --------------------------------------------------------- stream parsing
+
+
+def test_parse_telemetry_lines_tolerates_blanks():
+    text = '{"kind": "epoch", "seq": 0}\n\n{"kind": "final", "seq": 1}\n'
+    samples = parse_telemetry_lines(text)
+    assert [s["seq"] for s in samples] == [0, 1]
+
+
+def test_parse_telemetry_lines_names_the_bad_line():
+    text = '{"kind": "epoch"}\nnot json\n'
+    with pytest.raises(ValueError, match="line 2"):
+        parse_telemetry_lines(text)
+    with pytest.raises(ValueError, match="line 1"):
+        parse_telemetry_lines("[1, 2]\n")

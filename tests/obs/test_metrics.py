@@ -171,6 +171,30 @@ class TestHistogramQuantiles:
         with pytest.raises(ValueError):
             h.quantile(-0.1)
 
+    def test_to_dict_carries_bucket_boundaries_and_counts(self):
+        d = self._hist().to_dict()
+        assert d["bounds"] == [1.0, 2.0, 5.0, 10.0]
+        # one count per bounded bucket plus the overflow bucket
+        assert d["counts"] == [50, 30, 15, 4, 1]
+        assert sum(d["counts"]) == d["count"]
+
+    def test_all_mass_in_overflow_bucket(self):
+        # every sample lands above the last bound: the bounded buckets
+        # stay empty, every quantile degrades to the observed max, and
+        # the snapshot still carries the full bucket structure
+        h = Histogram("h", (1.0, 2.0))
+        for v in (10.0, 20.0, 30.0):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["bounds"] == [1.0, 2.0]
+        assert d["counts"] == [0, 0, 3]
+        assert d["p50"] == 30.0
+        assert d["p95"] == 30.0
+        assert d["p99"] == 30.0
+        assert d["min"] == 10.0
+        assert d["max"] == 30.0
+        assert h.quantile(0.0) == 30.0  # even q=0 resolves via overflow
+
     def test_to_dict_carries_percentile_summary(self):
         d = self._hist().to_dict()
         assert d["p50"] == 1.0

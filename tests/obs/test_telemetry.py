@@ -1,0 +1,161 @@
+"""TelemetryStream: cadences, deltas, derived gauges, null path."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import NULL_TELEMETRY, TelemetryStream, render_openmetrics
+from repro.obs.clock import VirtualClock
+from repro.obs.metrics import MetricsRegistry
+
+
+def _stream(interval=10.0, record_bytes=None):
+    metrics = MetricsRegistry()
+    clock = VirtualClock()
+    sink = io.StringIO()
+    stream = TelemetryStream(metrics, clock, sink, interval=interval,
+                             record_bytes=record_bytes)
+    return metrics, clock, sink, stream
+
+
+def _lines(sink: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+def test_interval_must_be_positive():
+    metrics, clock = MetricsRegistry(), VirtualClock()
+    with pytest.raises(ValueError):
+        TelemetryStream(metrics, clock, io.StringIO(), interval=0.0)
+
+
+def test_tick_fires_only_after_crossing_the_interval():
+    metrics, clock, sink, stream = _stream(interval=10.0)
+    metrics.counter("carp.records_ingested").add(5)
+    assert stream.tick() is False  # clock has not moved
+    clock.advance(9.0)
+    assert stream.tick() is False
+    clock.advance(1.0)
+    assert stream.tick() is True
+    assert stream.tick() is False  # next due 10 ticks later
+    clock.advance(10.0)
+    assert stream.tick() is True
+    docs = _lines(sink)
+    assert [d["kind"] for d in docs] == ["tick", "tick"]
+    assert [d["ts"] for d in docs] == [10.0, 20.0]
+    assert [d["seq"] for d in docs] == [0, 1]
+    assert stream.lines_written == 2
+
+
+def test_tick_is_restricted_to_driver_prefixes():
+    metrics, clock, sink, stream = _stream()
+    metrics.counter("carp.records_ingested").add(3)
+    metrics.counter("koidb.records_in").add(7)  # worker-owned
+    metrics.gauge("shuffle.in_flight_records").set(2)
+    metrics.gauge("koidb.memtable_occupancy.r0").set(0.5)
+    clock.advance(10.0)
+    assert stream.tick() is True
+    (doc,) = _lines(sink)
+    assert doc["counters"] == {"carp.records_ingested": 3}
+    assert doc["gauges"] == {"shuffle.in_flight_records": 2.0}
+
+
+def test_sample_carries_full_registry_and_deltas():
+    metrics, clock, sink, stream = _stream()
+    counter = metrics.counter("koidb.records_in")
+    metrics.histogram("query.latency", (0.1, 1.0)).observe(0.05)
+    counter.add(10)
+    first = stream.sample("epoch", epoch=0, request="ingest-000001")
+    counter.add(4)
+    second = stream.sample("epoch", epoch=1, request="ingest-000002")
+    assert first["deltas"] == {"koidb.records_in": 10.0}
+    assert second["deltas"] == {"koidb.records_in": 4.0}
+    assert second["counters"] == {"koidb.records_in": 14}
+    assert second["epoch"] == 1
+    assert second["request"] == "ingest-000002"
+    hist = second["histograms"]["query.latency"]
+    assert hist["bounds"] == [0.1, 1.0]
+    assert hist["counts"] == [1, 0, 0]
+    # what was emitted is exactly what was returned
+    assert _lines(sink) == [first, second]
+
+
+def test_sample_omits_epoch_and_request_when_untagged():
+    _, _, sink, stream = _stream()
+    doc = stream.sample("final")
+    assert "epoch" not in doc and "request" not in doc
+    assert doc["kind"] == "final"
+
+
+def test_derived_faults_total_and_read_amp():
+    metrics, clock, sink, stream = _stream(record_bytes=12)
+    metrics.counter("faults.task_crashes").add(2)
+    metrics.counter("faults.torn_writes").add(1)
+    metrics.counter("query.records_matched").add(10)
+    metrics.counter("query.probe_bytes").add(600)
+    doc = stream.sample("query", derived={"retries_done": 3.0})
+    assert doc["derived"]["faults_total"] == 3.0
+    # 600 bytes probed / (10 records * 12 B) = 5x amplification
+    assert doc["derived"]["read_amp"] == pytest.approx(5.0)
+    assert doc["derived"]["retries_done"] == 3.0
+
+
+def test_read_amp_zero_when_nothing_matched_or_unconfigured():
+    metrics, _, _, stream = _stream(record_bytes=12)
+    metrics.counter("query.probe_bytes").add(600)
+    assert stream.sample("query")["derived"]["read_amp"] == 0.0
+    _, _, _, bare = _stream(record_bytes=None)
+    assert "read_amp" not in bare.sample("query")["derived"]
+
+
+def test_stream_is_json_lines_with_sorted_keys():
+    metrics, clock, sink, stream = _stream()
+    metrics.counter("koidb.records_in").add(1)
+    stream.sample("epoch", epoch=0)
+    (raw,) = sink.getvalue().splitlines()
+    assert raw == json.dumps(json.loads(raw), sort_keys=True)
+
+
+def test_null_telemetry_never_writes():
+    assert NULL_TELEMETRY.enabled is False
+    assert NULL_TELEMETRY.tick() is False
+    assert NULL_TELEMETRY.sample("epoch", epoch=0, request="x") == {}
+    assert NULL_TELEMETRY.lines_written == 0
+
+
+def test_exposition_matches_render_openmetrics():
+    metrics, _, _, stream = _stream()
+    metrics.counter("carp.records_ingested").add(2)
+    assert stream.exposition() == render_openmetrics(metrics.snapshot())
+
+
+# ------------------------------------------------------- OpenMetrics
+
+
+def test_openmetrics_rendering_shapes():
+    metrics = MetricsRegistry()
+    metrics.counter("carp.records_ingested").add(5)
+    metrics.gauge("shuffle.in_flight_records").set(1.5)
+    hist = metrics.histogram("query.latency", (0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(99.0)  # overflow bucket
+    text = render_openmetrics(metrics.snapshot())
+    assert "# TYPE carp_records_ingested counter" in text
+    assert "carp_records_ingested_total 5" in text
+    assert "shuffle_in_flight_records 1.5" in text
+    # cumulative buckets, overflow folded into +Inf
+    assert 'query_latency_bucket{le="0.1"} 1' in text
+    assert 'query_latency_bucket{le="1"} 2' in text
+    assert 'query_latency_bucket{le="+Inf"} 3' in text
+    assert "query_latency_count 3" in text
+    assert text.endswith("# EOF\n")
+
+
+def test_openmetrics_of_empty_snapshot_is_just_eof():
+    text = render_openmetrics(
+        {"counters": {}, "gauges": {}, "histograms": {}}
+    )
+    assert text == "# EOF\n"

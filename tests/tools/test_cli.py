@@ -243,3 +243,71 @@ class TestTraceCli:
         # worker-side flush spans must surface in the ranking
         assert "flush" in out
         assert (tmp_path / "obs" / "trace.json").is_file()
+        # telemetry plane artifacts ride along
+        assert (tmp_path / "obs" / "db" / "telemetry.jsonl").is_file()
+        assert (tmp_path / "obs" / "db" / "metrics.om").is_file()
+
+    def _recorded(self, tmp_path, capsys):
+        from repro.tools.trace_cli import main as trace_main
+
+        out_dir = tmp_path / "obs"
+        rc = trace_main([
+            "-o", str(out_dir), "--ranks", "4", "--epochs", "2",
+            "--records", "300",
+        ])
+        capsys.readouterr()
+        assert rc == 0
+        return out_dir
+
+    def test_output_required_without_report(self, capsys):
+        from repro.tools.trace_cli import main as trace_main
+
+        assert trace_main([]) == 2
+        assert "--output is required" in capsys.readouterr().err
+
+    def test_report_mode_re_renders(self, tmp_path, capsys):
+        from repro.tools.trace_cli import main as trace_main
+
+        out_dir = self._recorded(tmp_path, capsys)
+        rc = trace_main(["--report", str(out_dir)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "CARP run" in out
+        assert "Metrics snapshot" in out
+        assert "note:" not in out  # complete artifacts need no caveats
+
+    def test_report_mode_degrades_on_legacy_metrics(self, tmp_path, capsys):
+        """A metrics.json without histograms is annotated, not fatal."""
+        import json
+
+        from repro.tools.trace_cli import main as trace_main
+
+        out_dir = self._recorded(tmp_path, capsys)
+        metrics_path = out_dir / "metrics.json"
+        snapshot = json.loads(metrics_path.read_text())
+        del snapshot["histograms"]  # simulate a pre-histogram recording
+        metrics_path.write_text(json.dumps(snapshot))
+        rc = trace_main(["--report", str(out_dir)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "note: legacy snapshot: no 'histograms' section" in out
+
+    def test_report_mode_missing_artifacts_exit_two(self, tmp_path, capsys):
+        from repro.tools.trace_cli import main as trace_main
+
+        assert trace_main(["--report", str(tmp_path / "nope")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_request_tree_from_archived_trace(self, tmp_path, capsys):
+        from repro.tools.trace_cli import main as trace_main
+
+        out_dir = self._recorded(tmp_path, capsys)
+        rc = trace_main([
+            "--report", str(out_dir), "--request", "ingest-000001",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Spans for request ingest-000001" in out
+        # the cross-worker tree: the driver epoch span plus worker flushes
+        assert "epoch" in out
+        assert "flush" in out

@@ -37,11 +37,14 @@ from repro.exec import (
 )
 from repro.query.engine import PartitionedStore, QueryResult
 from repro.query.reader import RangeReader
+from repro.query.request import QueryRequest, QueryResponse
+from repro.query.service import QueryService
 from repro.sim.cluster import ClusterSpec, PAPER_CLUSTER
 from repro.sim.iomodel import IOModel
 from repro.sim.netmodel import NetModel
 from repro.storage.compactor import compact_all_epochs, compact_epoch
 from repro.storage.koidb import KoiDB
+from repro.storage.snapshot import Snapshot, pin_snapshot
 
 __version__ = "1.0.0"
 
@@ -59,12 +62,16 @@ __all__ = [
     "PartitionTable",
     "PartitionedStore",
     "ProcessExecutor",
+    "QueryRequest",
+    "QueryResponse",
     "QueryResult",
+    "QueryService",
     "RangeReader",
     "RecordBatch",
     "SERIAL_EXEC",
     "SerialExecutor",
     "Session",
+    "Snapshot",
     "TEST_OPTIONS",
     "ThreadExecutor",
     "compact_all_epochs",
@@ -72,5 +79,6 @@ __all__ = [
     "load_stddev",
     "make_executor",
     "make_rids",
+    "pin_snapshot",
     "__version__",
 ]

@@ -23,6 +23,17 @@ are attached: they share the session's obs/executor, the reader wraps
 the session's store (one set of file handles), and the session closes
 them.  The underlying constructors keep working unchanged for callers
 that want manual control.
+
+The read side is *snapshot-first* (``docs/SERVING.md``):
+:meth:`Session.snapshot` pins the last committed manifest chain of
+every log, :meth:`Session.store` opens pinned views that survive
+concurrent ingest, and :meth:`Session.serve` starts a
+:class:`~repro.query.service.QueryService` admitting many concurrent
+typed :class:`~repro.query.request.QueryRequest` objects while
+``ingest_epoch`` keeps running.  :meth:`Session.query` accepts either
+a :class:`QueryRequest` (canonical) or the legacy positional
+``(epoch, lo, hi)`` spread (kept as a shim) and always returns a
+typed :class:`~repro.query.request.QueryResponse`.
 """
 
 from __future__ import annotations
@@ -38,10 +49,18 @@ from repro.exec.api import Executor
 from repro.exec.factory import resolve_executor
 from repro.faults.plan import FaultPlan
 from repro.obs import NULL_OBS, Obs, RequestIdAllocator, TelemetryStream
-from repro.query.engine import PartitionedStore, QueryResult
+from repro.query.engine import PartitionedStore
 from repro.query.explain import QueryExplain
 from repro.query.reader import RangeReader
+from repro.query.request import (
+    LIVE_TOKEN,
+    QueryRequest,
+    QueryResponse,
+    response_from_result,
+)
+from repro.query.service import QueryService
 from repro.sim.iomodel import IOModel
+from repro.storage.snapshot import Snapshot, pin_snapshot
 
 
 class Session:
@@ -115,6 +134,13 @@ class Session:
             self.obs.telemetry = self.telemetry
         self._store: PartitionedStore | None = None
         self._reader: RangeReader | None = None
+        #: Pinned read views by snapshot token.  Deliberately *not*
+        #: torn down by :meth:`_invalidate_views`: a pinned store only
+        #: consults bytes before its snapshot's commit points, which a
+        #: concurrent ingest never rewrites, so the view stays valid
+        #: across epochs until released or the session closes.
+        self._pinned: dict[str, PartitionedStore] = {}
+        self._services: list[QueryService] = []
         self._closed = False
 
     # ------------------------------------------------------------ ingest
@@ -129,20 +155,64 @@ class Session:
         """
         ctx = self._requests.mint("ingest")
         stats = self.run.ingest_epoch(epoch, streams, ctx=ctx)
-        # the logs grew, so any open store view is stale
+        # the logs grew, so any open *live* store view is stale; pinned
+        # views keep reading their snapshot's committed prefix untouched
         self._invalidate_views()
+        # epoch commit: advance every serving plane to the new commit
+        # point (their caches key on the snapshot token, so results of
+        # the superseded snapshot can never leak into the new one)
+        if self._services:
+            snap = pin_snapshot(self.out_dir)
+            for service in self._services:
+                service.invalidate(snap)
         return stats
+
+    # --------------------------------------------------------- snapshots
+
+    def snapshot(self) -> Snapshot:
+        """Pin the current committed state of every output log.
+
+        The returned :class:`~repro.storage.snapshot.Snapshot` is pure
+        metadata (per-log commit points validated by
+        :func:`~repro.storage.recovery.find_committed_state` plus a
+        token naming them); readers opened on it never see epochs that
+        commit later, so ingest and snapshot queries proceed
+        concurrently with no coordination.
+        """
+        self._check_open()
+        return pin_snapshot(self.out_dir)
+
+    def release(self, snapshot: Snapshot) -> None:
+        """Close the pinned store view opened for ``snapshot`` (if any)."""
+        store = self._pinned.pop(snapshot.token, None)
+        if store is not None:
+            store.close()
 
     # ------------------------------------------------------------- views
 
-    def store(self) -> PartitionedStore:
+    def store(self, snapshot: Snapshot | None = None) -> PartitionedStore:
         """An attached read view over the session's output directory.
 
-        Created lazily (the run's buffered epochs must be finished
-        before the logs are readable) and cached; re-opened after each
-        further :meth:`ingest_epoch`.
+        Without a snapshot: the *live* view — created lazily (the
+        run's buffered epochs must be finished before the logs are
+        readable) and cached; re-opened after each further
+        :meth:`ingest_epoch`.
+
+        With ``snapshot=``: a *pinned* view opened at the snapshot's
+        commit points, cached per token.  Pinned views survive
+        concurrent ingest (see :meth:`_invalidate_views`) and are
+        closed by :meth:`release` or session close.
         """
         self._check_open()
+        if snapshot is not None:
+            pinned = self._pinned.get(snapshot.token)
+            if pinned is None:
+                pinned = PartitionedStore(
+                    self.out_dir, io=self.io, obs=self.obs,
+                    executor=self.executor, snapshot=snapshot,
+                )
+                self._pinned[snapshot.token] = pinned
+            return pinned
         if self._store is None:
             self._store = PartitionedStore(
                 self.out_dir, io=self.io, obs=self.obs, executor=self.executor
@@ -156,30 +226,159 @@ class Session:
             self._reader = RangeReader(store=self.store())
         return self._reader
 
+    # ------------------------------------------------------------- reads
+
+    def _coerce_request(
+        self,
+        request: QueryRequest | int | None,
+        lo: float | None,
+        hi: float | None,
+        keys_only: bool,
+        epoch: int | None,
+    ) -> QueryRequest:
+        """Accept the canonical QueryRequest or the legacy spread.
+
+        The legacy positional form ``(epoch, lo, hi[, keys_only])``
+        and the keyword form ``(lo=, hi=, epoch=)`` both route through
+        one :class:`QueryRequest`, so every entry point shares the
+        same validation and response semantics.
+        """
+        if isinstance(request, QueryRequest):
+            if lo is not None or hi is not None or epoch is not None:
+                raise TypeError(
+                    "pass either a QueryRequest or (epoch, lo, hi), not both"
+                )
+            return request
+        if request is not None and epoch is not None:
+            raise TypeError("epoch given both positionally and by keyword")
+        if lo is None or hi is None:
+            raise TypeError("lo and hi are required without a QueryRequest")
+        resolved = request if request is not None else epoch
+        return QueryRequest(
+            lo=float(lo), hi=float(hi), epoch=resolved, keys_only=keys_only
+        )
+
+    def _resolve_epoch(
+        self,
+        req: QueryRequest,
+        snapshot: Snapshot | None,
+        store: PartitionedStore,
+    ) -> int:
+        if snapshot is not None:
+            return snapshot.resolve_epoch(req.epoch)
+        if req.epoch is not None:
+            return req.epoch
+        epochs = store.epochs()
+        if not epochs:
+            raise ValueError(f"no committed epochs under {self.out_dir}")
+        return epochs[-1]
+
     def query(
-        self, epoch: int, lo: float, hi: float, keys_only: bool = False
-    ) -> QueryResult:
+        self,
+        request: QueryRequest | int | None = None,
+        lo: float | None = None,
+        hi: float | None = None,
+        keys_only: bool = False,
+        *,
+        epoch: int | None = None,
+        snapshot: Snapshot | None = None,
+    ) -> QueryResponse:
         """Range query against the session's output.
+
+        Canonical form: ``session.query(QueryRequest(lo=..., hi=...))``
+        — epoch-or-latest, optional deadline, typed
+        :class:`QueryResponse` reply.  The legacy
+        ``session.query(epoch, lo, hi)`` spread keeps working and
+        routes through the same request object.  ``snapshot=`` runs
+        the query against a pinned view instead of the live store.
 
         Mints a ``query-NNNNNN`` request id; the query/probe spans and
         the post-query telemetry sample carry it.
         """
+        req = self._coerce_request(request, lo, hi, keys_only, epoch)
+        req.validate()
+        store = self.store(snapshot=snapshot)
+        target = self._resolve_epoch(req, snapshot, store)
         ctx = self._requests.mint("query")
-        return self.store().query(epoch, lo, hi, keys_only=keys_only, ctx=ctx)
+        result = store.query(
+            target, req.lo, req.hi, keys_only=req.keys_only, ctx=ctx
+        )
+        token = snapshot.token if snapshot is not None else LIVE_TOKEN
+        return response_from_result(req, ctx.request_id, token, result)
 
     def explain(
-        self, epoch: int, lo: float, hi: float, keys_only: bool = False
+        self,
+        request: QueryRequest | int | None = None,
+        lo: float | None = None,
+        hi: float | None = None,
+        keys_only: bool = False,
+        *,
+        epoch: int | None = None,
+        snapshot: Snapshot | None = None,
     ) -> QueryExplain:
         """Plan + cost report for a range query (no merge executed).
 
         See :meth:`repro.query.engine.PartitionedStore.explain`; the
-        report reconciles exactly against :attr:`QueryResult.cost`.
+        report reconciles exactly against :attr:`QueryResponse.cost`.
+        Mints an ``explain-NNNNNN`` request id carried by one
+        zero-duration trace span, so ``carp-trace --request`` covers
+        EXPLAIN requests too.
         """
-        return self.store().explain(epoch, lo, hi, keys_only=keys_only)
+        req = self._coerce_request(request, lo, hi, keys_only, epoch)
+        req.validate()
+        store = self.store(snapshot=snapshot)
+        target = self._resolve_epoch(req, snapshot, store)
+        ctx = self._requests.mint("explain")
+        return store.explain(
+            target, req.lo, req.hi, keys_only=req.keys_only, ctx=ctx
+        )
+
+    # ------------------------------------------------------------- serve
+
+    def serve(
+        self,
+        snapshot: Snapshot | None = None,
+        workers: int = 4,
+        max_pending: int = 64,
+        cache_capacity: int = 128,
+        autostart: bool = True,
+    ) -> QueryService:
+        """Start a concurrent query service over a pinned snapshot.
+
+        The service admits :class:`QueryRequest` objects from many
+        client threads while :meth:`ingest_epoch` keeps running —
+        bounded admission, per-client round-robin fairness, and a
+        single-flight LRU result cache keyed on the snapshot token
+        (see :mod:`repro.query.service` and ``docs/SERVING.md``).
+        Each epoch commit re-pins every attached service.  The session
+        closes attached services on :meth:`close`; closing a service
+        merges its telemetry into the session obs stack.
+        """
+        self._check_open()
+        service = QueryService(
+            self.out_dir,
+            io=self.io,
+            obs=self.obs,
+            requests=self._requests,
+            snapshot=snapshot if snapshot is not None else self.snapshot(),
+            workers=workers,
+            max_pending=max_pending,
+            cache_capacity=cache_capacity,
+            autostart=autostart,
+        )
+        self._services.append(service)
+        return service
 
     # ---------------------------------------------------------- plumbing
 
     def _invalidate_views(self) -> None:
+        """Tear down the *live* views (they are stale after an ingest).
+
+        Pinned stores (``self._pinned``) and serving planes
+        (``self._services``) deliberately survive: both read only the
+        committed prefixes named by their snapshots, which an ingest
+        appends after, never into.
+        """
         if self._reader is not None:
             self._reader.close()  # wrapped: does not close the store
             self._reader = None
@@ -216,7 +415,15 @@ class Session:
         if self._closed:
             return
         self._closed = True
+        # serving planes first: their close drains queued requests and
+        # merges worker telemetry into the session obs stack, which the
+        # final telemetry sample below must already include
+        for service in self._services:
+            service.close()
         self._invalidate_views()
+        for pinned in self._pinned.values():
+            pinned.close()
+        self._pinned.clear()
         self.run.close()
         if self.telemetry is not None:
             self.telemetry.sample(

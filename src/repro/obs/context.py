@@ -20,6 +20,7 @@ bit-for-bit.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 
@@ -41,17 +42,26 @@ class RequestIdAllocator:
     One allocator per :class:`~repro.api.Session`; the id depends only
     on the order of prior requests of the same kind, never on wall
     time or randomness, so a replayed workload re-mints the same ids.
+
+    Minting is thread-safe: the serve plane
+    (:class:`~repro.query.service.QueryService`) mints ``query`` ids
+    from submitter threads while ``ingest`` ids are minted on the
+    driver thread.  Ids stay deterministic as a *set* per kind — the
+    sequence a given request receives depends only on the order of
+    prior requests of the same kind.
     """
 
-    __slots__ = ("_next",)
+    __slots__ = ("_next", "_mint_lock")
 
     def __init__(self) -> None:
         self._next: dict[str, int] = {}
+        self._mint_lock = threading.Lock()
 
     def mint(self, kind: str) -> RequestContext:
         """The next request context for ``kind``."""
-        seq = self._next.get(kind, 0) + 1
-        self._next[kind] = seq
+        with self._mint_lock:
+            seq = self._next.get(kind, 0) + 1
+            self._next[kind] = seq
         return RequestContext(
             request_id=f"{kind}-{seq:06d}", kind=kind, seq=seq
         )

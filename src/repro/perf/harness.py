@@ -228,11 +228,50 @@ def _run_obs_overhead(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
     ]
 
 
+def _run_serve(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
+    """The serving plane under concurrent ingest (``carp-serve``).
+
+    Exact rows pin the admission/caching behaviour *and* the served
+    bytes (an order-independent payload digest); virtual rows gate the
+    modeled served-latency distribution, p99 included — the number the
+    SLO rule in ``configs/health_default.json`` watches live.
+    """
+    from repro.perf.serve import run_serve_workload
+
+    report = run_serve_workload(spec, scratch)
+    return [
+        Metric("serve_latency_p50", report.latency_p50, "s",
+               "virtual", VIRTUAL_TOLERANCE),
+        Metric("serve_latency_p95", report.latency_p95, "s",
+               "virtual", VIRTUAL_TOLERANCE),
+        Metric("serve_latency_p99", report.latency_p99, "s",
+               "virtual", VIRTUAL_TOLERANCE),
+        Metric("serve_latency_mean", report.latency_mean, "s",
+               "virtual", VIRTUAL_TOLERANCE),
+        Metric("serve_requests", report.requests, "requests", "exact", 0.0),
+        Metric("serve_ok", report.ok, "responses", "exact", 0.0),
+        Metric("serve_deadline_exceeded", report.deadline_exceeded,
+               "responses", "exact", 0.0),
+        Metric("serve_rejected", report.rejected, "responses", "exact", 0.0),
+        Metric("serve_cache_hits", report.cache_hits, "hits", "exact", 0.0),
+        Metric("serve_cache_misses", report.cache_misses, "misses",
+               "exact", 0.0),
+        Metric("serve_invalidations", report.invalidations, "epochs",
+               "exact", 0.0),
+        Metric("serve_payload_digest",
+               float(int(report.payload_digest[:12], 16)),
+               "id", "exact", 0.0),
+        Metric("wall_seconds", report.wall_seconds, "s",
+               "wall", WALL_TOLERANCE),
+    ]
+
+
 _RUNNERS = {
     "ingest": _run_ingest,
     "query": _run_query,
     "compact": _run_compact,
     "obs-overhead": _run_obs_overhead,
+    "serve": _run_serve,
 }
 
 

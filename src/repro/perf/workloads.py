@@ -26,7 +26,7 @@ class WorkloadSpec:
     """One deterministic benchmark workload."""
 
     name: str
-    #: ``ingest`` | ``query`` | ``compact`` | ``obs-overhead``
+    #: ``ingest`` | ``query`` | ``compact`` | ``obs-overhead`` | ``serve``
     kind: str
     #: ``serial`` | ``thread`` | ``process``
     backend: str
@@ -35,10 +35,13 @@ class WorkloadSpec:
     epochs: int = 2
     workers: int = 2
     seed: int = 11
-    #: range queries per epoch (query workloads)
+    #: range queries per epoch (query workloads) / per client phase
+    #: (serve workloads)
     queries: int = 4
     #: records per compacted SST (compact workloads)
     sst_records: int = 512
+    #: concurrent closed-loop clients (serve workloads)
+    clients: int = 8
 
     def options(self) -> CarpOptions:
         return CarpOptions(
@@ -70,6 +73,10 @@ def _registry() -> dict[str, WorkloadSpec]:
         WorkloadSpec("compact-serial", "compact", "serial"),
         WorkloadSpec("compact-process", "compact", "process"),
         WorkloadSpec("obs-overhead", "obs-overhead", "serial"),
+        # the serving plane under concurrent ingest: >= 8 closed-loop
+        # clients against Session.serve() while epochs keep committing
+        WorkloadSpec("serve-mixed", "serve", "serial",
+                     epochs=3, workers=3, clients=8),
     ]
     return {s.name: s for s in specs}
 

@@ -1,4 +1,4 @@
-"""Query engine: range queries, the RangeReader client, quality metrics."""
+"""Query engine: range queries, typed serving surface, quality metrics."""
 
 from repro.query.engine import PartitionedStore, QueryCost, QueryResult
 from repro.query.explain import LogExplain, QueryExplain
@@ -15,6 +15,17 @@ from repro.query.reader import (
     read_batch_csv,
     write_batch_csv,
 )
+from repro.query.request import (
+    LIVE_TOKEN,
+    STATUS_DEADLINE_EXCEEDED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    QueryRequest,
+    QueryResponse,
+    response_from_result,
+)
+from repro.query.service import PendingQuery, QueryService, ServeStats
 
 __all__ = [
     "PartitionedStore", "QueryCost", "QueryResult",
@@ -22,4 +33,7 @@ __all__ = [
     "read_amplification_profile", "selectivity", "selectivity_profile",
     "BatchQuerySpec", "BatchResult", "RangeReader", "read_batch_csv",
     "write_batch_csv",
+    "LIVE_TOKEN", "STATUS_DEADLINE_EXCEEDED", "STATUS_ERROR", "STATUS_OK",
+    "STATUS_REJECTED", "QueryRequest", "QueryResponse",
+    "response_from_result", "PendingQuery", "QueryService", "ServeStats",
 ]

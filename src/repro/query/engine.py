@@ -28,9 +28,16 @@ from repro.obs import NULL_OBS, Obs, RequestContext
 from repro.sim.iomodel import IOModel
 from repro.storage.log import LogReader, list_logs
 from repro.storage.manifest import ManifestEntry
+from repro.storage.recovery import CommittedState
+from repro.storage.snapshot import Snapshot
 
 if TYPE_CHECKING:
     from repro.query.explain import QueryExplain
+
+#: Bucket bounds (virtual seconds) shared by the ``query.latency`` and
+#: ``serve.latency`` histograms — one scale, so served and engine-side
+#: quantiles are directly comparable.
+LATENCY_BOUNDS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
 
 
 @dataclass(frozen=True)
@@ -77,6 +84,13 @@ class PartitionedStore:
     concurrently.  ``recover=True`` tolerates crash-torn log tails by
     opening each log at its newest valid footer (epoch-aligned
     durability, paper §V-A).
+
+    ``snapshot=`` (a :class:`~repro.storage.snapshot.Snapshot` from
+    :func:`~repro.storage.snapshot.pin_snapshot`) opens every log at
+    its *pinned* commit point instead of the current footer: the store
+    then never consults bytes appended after the pin, so it can serve
+    reads while an ingest appends to the same logs — the snapshot
+    isolation contract of ``docs/SERVING.md``.
     """
 
     def __init__(
@@ -86,6 +100,7 @@ class PartitionedStore:
         recover: bool = False,
         obs: Obs | None = None,
         executor: Executor | None = None,
+        snapshot: Snapshot | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.io = io or IOModel()
@@ -101,11 +116,21 @@ class PartitionedStore:
         self._m_io_bytes = metrics.counter("io.bytes_charged")
         # modeled end-to-end latency distribution, in virtual seconds —
         # the p50/p95/p99 source for telemetry samples and SLO gating
-        self._m_latency = metrics.histogram(
-            "query.latency",
-            (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0),
-        )
-        paths = list_logs(self.directory)
+        self._m_latency = metrics.histogram("query.latency", LATENCY_BOUNDS)
+        self.snapshot = snapshot
+        if snapshot is not None:
+            if Path(snapshot.directory) != self.directory:
+                raise ValueError(
+                    f"snapshot pins {snapshot.directory}, store opens "
+                    f"{self.directory}"
+                )
+            paths = [Path(pin.path) for pin in snapshot.logs]
+            pins: list[CommittedState | None] = [
+                pin.state for pin in snapshot.logs
+            ]
+        else:
+            paths = list_logs(self.directory)
+            pins = [None] * len(paths)
         if not paths:
             raise FileNotFoundError(f"no KoiDB logs under {self.directory}")
         self._paths = paths
@@ -113,8 +138,8 @@ class PartitionedStore:
         # fails to parse — a half-built store leaks no handles
         self._readers = []
         try:
-            for p in paths:
-                self._readers.append(LogReader(p, recover=recover))
+            for p, pin in zip(paths, pins):
+                self._readers.append(LogReader(p, recover=recover, pin=pin))
         except BaseException:
             for reader in self._readers:
                 reader.close()
@@ -295,10 +320,15 @@ class PartitionedStore:
                                     lo, hi, keys_only))
                 for idx, entries in by_reader.items()
             ]
+        # workers re-open logs by path and read only the entry offsets
+        # they were handed; a pinned store passes recover=True so the
+        # worker-side open tolerates the torn tail a concurrently
+        # appending writer may be mid-way through
+        recover = self._recover or self.snapshot is not None
         for reader_idx, log_entries in by_reader.items():
             self._executor.submit(
                 reader_idx, probe_log, str(self._paths[reader_idx]),
-                self._recover, log_entries, lo, hi, keys_only,
+                recover, log_entries, lo, hi, keys_only,
             )
         probes: list[tuple[int, LogProbeResult]] = []
         for reader_idx, probe in zip(by_reader, self._executor.drain()):
@@ -307,7 +337,12 @@ class PartitionedStore:
         return probes
 
     def explain(
-        self, epoch: int, lo: float, hi: float, keys_only: bool = False
+        self,
+        epoch: int,
+        lo: float,
+        hi: float,
+        keys_only: bool = False,
+        ctx: RequestContext | None = None,
     ) -> "QueryExplain":
         """Plan + cost report for a range query, without running it.
 
@@ -319,8 +354,12 @@ class PartitionedStore:
         modeled per-log read time.  The report's ``cost`` is computed
         by the exact expressions :meth:`query` uses, so it reconciles
         field-for-field with a real ``QueryResult.cost`` — that exact
-        reconciliation is enforced by ``carp-explain``.  No metrics or
-        spans are recorded: EXPLAIN is introspection, not workload.
+        reconciliation is enforced by ``carp-explain``.  No metrics are
+        recorded — EXPLAIN is introspection, not workload — and no
+        virtual time passes.  With a ``ctx`` (minted by
+        :meth:`repro.api.Session.explain` as ``explain-NNNNNN``) one
+        zero-duration span tagged with the request id is emitted so
+        ``carp-trace --request`` covers EXPLAIN requests too.
         """
         from repro.query.explain import LogExplain, QueryExplain
 
@@ -366,6 +405,14 @@ class PartitionedStore:
             merge_time=self.io.merge_time(merge_bytes)
             + self.io.scan_time(bytes_read),
         )
+        if ctx is not None and self.obs.enabled:
+            # zero-duration: EXPLAIN spends no virtual time, the span
+            # exists purely to carry the request id into the trace
+            self.obs.tracer.complete(
+                self._tr_query, "explain", self.obs.clock.now(), 0.0,
+                {"epoch": epoch, "lo": lo, "hi": hi,
+                 "keys_only": keys_only, "request": ctx.request_id},
+            )
         return QueryExplain(
             directory=str(self.directory), epoch=epoch, lo=lo, hi=hi,
             keys_only=keys_only, logs=tuple(logs), cost=cost,

@@ -19,8 +19,14 @@ from pathlib import Path
 import numpy as np
 
 from repro.exec.api import Executor
-from repro.query.engine import PartitionedStore, QueryResult
+from repro.query.engine import PartitionedStore
 from repro.query.metrics import selectivity_profile
+from repro.query.request import (
+    LIVE_TOKEN,
+    QueryRequest,
+    QueryResponse,
+    response_from_result,
+)
 from repro.sim.iomodel import IOModel
 
 
@@ -51,7 +57,7 @@ class BatchQuerySpec:
 class BatchResult:
     """Aggregated outcome of a query batch."""
 
-    results: list[QueryResult]
+    results: list[QueryResponse]
 
     @property
     def total_latency(self) -> float:
@@ -127,9 +133,37 @@ class RangeReader:
             probe_selectivity=tuple(float(s) for s in sel),
         )
 
-    def query(self, epoch: int, lo: float, hi: float) -> QueryResult:
-        """Query mode: one range query."""
-        return self.store.query(epoch, lo, hi)
+    def request(self, req: QueryRequest) -> QueryResponse:
+        """Execute one typed :class:`QueryRequest` (the canonical form).
+
+        ``epoch=None`` resolves to the newest epoch the wrapped store
+        sees (its snapshot's newest, for a pinned store).  The reply
+        carries the store's snapshot token when pinned,
+        :data:`~repro.query.request.LIVE_TOKEN` otherwise.
+        """
+        req.validate()
+        snapshot = self.store.snapshot
+        if snapshot is not None:
+            epoch = snapshot.resolve_epoch(req.epoch)
+            token = snapshot.token
+        else:
+            token = LIVE_TOKEN
+            if req.epoch is not None:
+                epoch = req.epoch
+            else:
+                epochs = self.store.epochs()
+                if not epochs:
+                    raise ValueError("store holds no epochs")
+                epoch = epochs[-1]
+        result = self.store.query(
+            epoch, req.lo, req.hi, keys_only=req.keys_only
+        )
+        return response_from_result(req, "", token, result)
+
+    def query(self, epoch: int, lo: float, hi: float) -> QueryResponse:
+        """Query mode: one range query (legacy spread, routed through
+        :class:`QueryRequest`)."""
+        return self.request(QueryRequest(lo=lo, hi=hi, epoch=epoch))
 
     def run_batch(
         self,
@@ -137,7 +171,7 @@ class RangeReader:
         log_path: Path | str | None = None,
     ) -> BatchResult:
         """Batch mode: run queries in order; optionally write querylog.csv."""
-        results = [self.store.query(q.epoch, q.lo, q.hi) for q in queries]
+        results = [self.query(q.epoch, q.lo, q.hi) for q in queries]
         batch = BatchResult(results)
         if log_path is not None:
             write_query_log(results, log_path)
@@ -164,7 +198,7 @@ def write_batch_csv(queries: list[BatchQuerySpec], path: Path | str) -> None:
             writer.writerow([q.epoch, repr(q.lo), repr(q.hi)])
 
 
-def write_query_log(results: list[QueryResult], path: Path | str) -> None:
+def write_query_log(results: list[QueryResponse], path: Path | str) -> None:
     """Write the artifact-style per-query log (``querylog.csv``)."""
     with open(path, "w", newline="") as fh:
         writer = csv.writer(fh)

@@ -1,0 +1,648 @@
+"""The serve plane: concurrent range queries over pinned snapshots.
+
+:class:`QueryService` is the read-side front end behind
+:meth:`repro.api.Session.serve`.  It admits typed
+:class:`~repro.query.request.QueryRequest` objects from many clients
+while ``ingest_epoch`` keeps appending, and answers each with a
+:class:`~repro.query.request.QueryResponse` — concurrently, but with
+*deterministic results*:
+
+- **Snapshot isolation.**  Every request executes against a pinned
+  :class:`~repro.storage.snapshot.Snapshot`, so readers never see
+  in-flight epochs; a live ingest only appends after the pinned commit
+  points (``docs/SERVING.md``).  The session re-pins the service on
+  each epoch commit (:meth:`invalidate`).
+- **Admission control.**  A bounded queue (``max_pending``) rejects
+  overload with :data:`~repro.query.request.STATUS_REJECTED` instead
+  of queueing unboundedly, and dispatch is round-robin *per client*,
+  so a hog client issuing hundreds of requests cannot starve another
+  client's single request.
+- **Single-flight result cache.**  A bounded LRU keyed on
+  ``(snapshot token, epoch, lo, hi, keys_only)``; concurrent duplicate
+  requests coalesce onto one engine execution (the others wait and
+  count as hits), which is what makes hit/miss counters — and the
+  engine-side query counters they reconcile against — exact under any
+  thread timing.
+- **Deterministic observability.**  Workers record into private
+  ``Obs.deltas()`` stacks; at :meth:`close` the service folds them
+  into the session stack in sorted ``(client, per-client sequence)``
+  order — counters summed (exact ints), latency histograms *rebuilt*
+  observation-by-observation (never merged as floats in thread order),
+  span bundles replayed onto per-client serve timelines starting at
+  zero.  The merged trace and metrics are therefore identical for a
+  given served workload regardless of worker interleaving.
+
+Worker-side engine probes always run on the serial executor: the
+service's own thread pool is the concurrency, and a nested
+env-resolved pool per worker would multiply threads without adding
+determinism.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exec.api import SERIAL_EXEC
+from repro.obs import NULL_OBS, Obs, RequestIdAllocator, SpanRecord
+from repro.query.engine import LATENCY_BOUNDS, PartitionedStore, QueryResult
+from repro.query.request import (
+    STATUS_DEADLINE_EXCEEDED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    QueryRequest,
+    QueryResponse,
+    response_from_result,
+)
+from repro.sim.iomodel import IOModel
+from repro.storage.snapshot import Snapshot, pin_snapshot
+
+#: Statuses that represent an *answered* query (a payload was produced
+#: from a cache slot); these are the responses the hit/miss counters
+#: and the serve latency histogram cover.
+_ANSWERED = (STATUS_OK, STATUS_DEADLINE_EXCEEDED)
+
+
+class PendingQuery:
+    """Handle for one admitted (or rejected) request.
+
+    ``result()`` blocks until the service resolves the request; a
+    rejected request is resolved immediately at submit time.
+    """
+
+    __slots__ = ("request", "request_id", "_event", "_response")
+
+    def __init__(self, request: QueryRequest, request_id: str) -> None:
+        self.request = request
+        #: Deterministic ``query-NNNNNN`` id (same allocator as
+        #: :meth:`repro.api.Session.query`).
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._response: QueryResponse | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> QueryResponse:
+        """The response, blocking until the service produces it."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not resolved within {timeout}s"
+            )
+        response = self._response
+        assert response is not None
+        return response
+
+    def _resolve(self, response: QueryResponse) -> None:
+        self._response = response
+        self._event.set()
+
+
+class _CacheSlot:
+    """One single-flight cache entry: result-or-error plus its spans."""
+
+    __slots__ = ("event", "result", "error", "spans")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: QueryResult | None = None
+        self.error: str | None = None
+        self.spans: tuple[SpanRecord, ...] = ()
+
+
+@dataclass(frozen=True)
+class _ServedRecord:
+    """Bookkeeping for one resolved request, for the close-time merge."""
+
+    client: str
+    seq: int  # per-client submission sequence (merge sort key)
+    request_id: str
+    status: str
+    cached: bool
+    executed: bool  # this request ran the engine (cache-slot owner)
+    epoch: int
+    lo: float
+    hi: float
+    keys_only: bool
+    latency: float  # modeled engine latency (0.0 when never executed)
+    spans: tuple[SpanRecord, ...]  # engine span bundle (owners only)
+
+
+@dataclass(frozen=True)
+class ServeStats:
+    """Point-in-time counters of one :class:`QueryService`."""
+
+    submitted: int
+    served: int
+    ok: int
+    deadline_exceeded: int
+    rejected: int
+    errors: int
+    cache_hits: int
+    cache_misses: int
+    invalidations: int
+    engine_queries: int
+    pending: int
+    snapshot_token: str
+
+
+class QueryService:
+    """Thread-pool query front end over a pinned snapshot.
+
+    Constructed by :meth:`repro.api.Session.serve`; standalone use
+    only needs a log directory::
+
+        with QueryService(out_dir) as svc:
+            handle = svc.submit(QueryRequest(lo=0.0, hi=1.0))
+            response = handle.result()
+
+    ``autostart=False`` builds the service paused: requests queue up
+    (admission control applies) until :meth:`start` — which is how the
+    fairness tests make dispatch order observable.
+    """
+
+    def __init__(
+        self,
+        directory: Path | str,
+        io: IOModel | None = None,
+        obs: Obs | None = None,
+        requests: RequestIdAllocator | None = None,
+        snapshot: Snapshot | None = None,
+        workers: int = 4,
+        max_pending: int = 64,
+        cache_capacity: int = 128,
+        autostart: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be positive, got {max_pending}")
+        self.directory = Path(directory)
+        self.io = io or IOModel()
+        self.obs = obs if obs is not None else NULL_OBS
+        self._requests = requests if requests is not None else RequestIdAllocator()
+        self._workers = workers
+        self._max_pending = max_pending
+        self._cache_capacity = cache_capacity
+        # one condition guards all mutable service state (queues, cache
+        # map, counters, snapshot pointer); cache *fills* happen outside
+        # it, coordinated per-slot by the slot event (single-flight)
+        self._cond = threading.Condition()
+        self._snapshot = snapshot if snapshot is not None else pin_snapshot(
+            self.directory
+        )
+        self._queues: dict[str, deque[PendingQuery]] = {}
+        self._rr: list[str] = []
+        self._rr_idx = 0
+        self._pending = 0  # admitted, not yet dispatched
+        self._active = 0  # dispatched, not yet resolved
+        self._cache: OrderedDict[
+            tuple[str, int, float, float, bool], _CacheSlot
+        ] = OrderedDict()
+        self._records: list[_ServedRecord] = []
+        self._client_seq: dict[str, int] = {}
+        self._served_log: list[tuple[str, str, str]] = []
+        self._submitted = 0
+        self._rejected = 0
+        self._invalidations = 0
+        self._started = False
+        self._draining = False
+        self._closed = False
+        self._threads: list[threading.Thread] = []
+        self._worker_obs: list[Obs] = []
+        if autostart:
+            self.start()
+
+    # --------------------------------------------------------- lifecycle
+
+    def _spawn_workers(self) -> None:
+        for idx in range(self._workers):
+            worker_obs = Obs.deltas()
+            self._worker_obs.append(worker_obs)
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(worker_obs,),
+                name=f"carp-serve-{idx}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def start(self) -> "QueryService":
+        """Spawn the worker pool (idempotent)."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            if self._started:
+                return self
+            self._started = True
+        self._spawn_workers()
+        return self
+
+    def close(self) -> None:
+        """Drain queued requests, stop workers, merge observability.
+
+        Every admitted request is still answered; the merge into the
+        session obs stack happens exactly once, here, in deterministic
+        ``(client, sequence)`` order.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._draining = True
+            was_started = self._started
+            self._started = True
+            self._cond.notify_all()
+        # a paused service still owes answers to whatever was queued
+        if not was_started:
+            self._spawn_workers()
+        for thread in self._threads:
+            thread.join()
+        self._merge()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # --------------------------------------------------------- admission
+
+    def submit(self, request: QueryRequest) -> PendingQuery:
+        """Admit one request; returns immediately with a handle.
+
+        A full queue resolves the handle *now* with
+        :data:`~repro.query.request.STATUS_REJECTED` — bounded
+        admission instead of unbounded buffering.
+        """
+        request.validate()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            ctx = self._requests.mint("query")
+            handle = PendingQuery(request, ctx.request_id)
+            self._submitted += 1
+            if self._pending >= self._max_pending:
+                self._rejected += 1
+                token = self._snapshot.token
+                self._served_log.append(
+                    (ctx.request_id, request.client, STATUS_REJECTED)
+                )
+            else:
+                if request.client not in self._queues:
+                    self._queues[request.client] = deque()
+                    self._rr.append(request.client)
+                self._queues[request.client].append(handle)
+                self._pending += 1
+                self._cond.notify()
+                return handle
+        handle._resolve(
+            QueryResponse(
+                request=handle.request,
+                request_id=handle.request_id,
+                status=STATUS_REJECTED,
+                epoch=-1,
+                snapshot_token=token,
+                detail=f"admission queue full ({self._max_pending} pending)",
+            )
+        )
+        return handle
+
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """Submit and wait: the one-call convenience path."""
+        return self.submit(request).result()
+
+    def drain(self) -> None:
+        """Block until every admitted request has been resolved."""
+        with self._cond:
+            while self._pending > 0 or self._active > 0:
+                self._cond.wait()
+
+    # -------------------------------------------------------- snapshots
+
+    @property
+    def snapshot(self) -> Snapshot:
+        with self._cond:
+            return self._snapshot
+
+    def invalidate(self, snapshot: Snapshot | None = None) -> Snapshot:
+        """Advance to a newer snapshot (called on each epoch commit).
+
+        Re-pins the directory when no snapshot is given.  Requests
+        admitted after this point execute — and cache — against the
+        new pin; in-flight requests finish against the old one (their
+        cache keys carry the old token, so the two never mix).
+        """
+        snap = snapshot if snapshot is not None else pin_snapshot(self.directory)
+        with self._cond:
+            if snap.token != self._snapshot.token:
+                self._snapshot = snap
+                self._invalidations += 1
+                # completed entries of older snapshots are unreachable
+                # (keys carry the token) — drop them eagerly; in-flight
+                # fills keep their slot until done
+                for key in [
+                    k for k, s in self._cache.items()
+                    if s.event.is_set() and k[0] != snap.token
+                ]:
+                    del self._cache[key]
+            return self._snapshot
+
+    # ------------------------------------------------------------ stats
+
+    @property
+    def stats(self) -> ServeStats:
+        with self._cond:
+            answered = [r for r in self._records if r.status in _ANSWERED]
+            return ServeStats(
+                submitted=self._submitted,
+                served=len(self._records) + self._rejected,
+                ok=sum(1 for r in self._records if r.status == STATUS_OK),
+                deadline_exceeded=sum(
+                    1 for r in self._records
+                    if r.status == STATUS_DEADLINE_EXCEEDED
+                ),
+                rejected=self._rejected,
+                errors=sum(
+                    1 for r in self._records if r.status == STATUS_ERROR
+                ),
+                cache_hits=sum(1 for r in answered if r.cached),
+                cache_misses=sum(1 for r in answered if not r.cached),
+                invalidations=self._invalidations,
+                engine_queries=sum(1 for r in self._records if r.executed),
+                pending=self._pending,
+                snapshot_token=self._snapshot.token,
+            )
+
+    @property
+    def served_log(self) -> tuple[tuple[str, str, str], ...]:
+        """``(request id, client, status)`` in resolution order."""
+        with self._cond:
+            return tuple(self._served_log)
+
+    # ------------------------------------------------------ worker side
+
+    def _next_locked(self) -> PendingQuery | None:
+        """Round-robin dispatch across per-client queues (lock held)."""
+        n = len(self._rr)
+        for step in range(n):
+            client = self._rr[(self._rr_idx + step) % n]
+            queue = self._queues[client]
+            if queue:
+                self._rr_idx = (self._rr_idx + step + 1) % n
+                return queue.popleft()
+        return None
+
+    def _worker_loop(self, worker_obs: Obs) -> None:
+        stores: dict[str, PartitionedStore] = {}
+        try:
+            while True:
+                with self._cond:
+                    handle = self._next_locked()
+                    while handle is None:
+                        if self._draining:
+                            return
+                        self._cond.wait()
+                        handle = self._next_locked()
+                    self._pending -= 1
+                    self._active += 1
+                    snap = self._snapshot
+                self._execute(handle, snap, worker_obs, stores)
+        finally:
+            for store in stores.values():
+                store.close()
+
+    def _store_for(
+        self,
+        snap: Snapshot,
+        worker_obs: Obs,
+        stores: dict[str, PartitionedStore],
+    ) -> PartitionedStore:
+        store = stores.get(snap.token)
+        if store is None:
+            # serve workers pin the serial executor explicitly: the
+            # service thread pool *is* the parallelism, and the store
+            # must not env-resolve a nested pool per worker
+            store = PartitionedStore(
+                self.directory,
+                io=self.io,
+                obs=worker_obs,
+                executor=SERIAL_EXEC,
+                snapshot=snap,
+            )
+            stores[snap.token] = store
+            # retire stores of superseded snapshots (bounded handles)
+            for token in [t for t in stores if t != snap.token]:
+                if len(stores) <= 2:
+                    break
+                stores.pop(token).close()
+        return store
+
+    def _execute(
+        self,
+        handle: PendingQuery,
+        snap: Snapshot,
+        worker_obs: Obs,
+        stores: dict[str, PartitionedStore],
+    ) -> None:
+        request = handle.request
+        try:
+            epoch = snap.resolve_epoch(request.epoch)
+        except ValueError as exc:
+            self._finish(
+                handle,
+                QueryResponse(
+                    request=request,
+                    request_id=handle.request_id,
+                    status=STATUS_ERROR,
+                    epoch=-1,
+                    snapshot_token=snap.token,
+                    detail=str(exc),
+                ),
+                executed=False,
+                slot=None,
+            )
+            return
+        key = (snap.token, epoch, request.lo, request.hi, request.keys_only)
+        with self._cond:
+            slot = self._cache.get(key)
+            owner = slot is None
+            if slot is None:
+                slot = _CacheSlot()
+                self._cache[key] = slot
+                self._evict_locked()
+            else:
+                self._cache.move_to_end(key)
+        if owner:
+            store = self._store_for(snap, worker_obs, stores)
+            try:
+                slot.result = store.query(
+                    epoch, request.lo, request.hi,
+                    keys_only=request.keys_only,
+                )
+            except Exception as exc:
+                slot.error = f"{type(exc).__name__}: {exc}"
+            # the engine spans recorded for *this* request (the worker
+            # handles one request at a time, so the drain is exact)
+            slot.spans = tuple(worker_obs.tracer.drain())
+            slot.event.set()
+        else:
+            slot.event.wait()
+        if slot.error is not None:
+            response = QueryResponse(
+                request=request,
+                request_id=handle.request_id,
+                status=STATUS_ERROR,
+                epoch=epoch,
+                snapshot_token=snap.token,
+                detail=slot.error,
+            )
+        else:
+            result = slot.result
+            assert result is not None
+            response = response_from_result(
+                request, handle.request_id, snap.token, result,
+                cached=not owner,
+            )
+        self._finish(
+            handle, response,
+            executed=owner and slot.error is None,
+            slot=slot if owner else None,
+        )
+
+    def _finish(
+        self,
+        handle: PendingQuery,
+        response: QueryResponse,
+        executed: bool,
+        slot: _CacheSlot | None,
+    ) -> None:
+        request = handle.request
+        with self._cond:
+            seq = self._client_seq.get(request.client, 0)
+            self._client_seq[request.client] = seq + 1
+            self._records.append(
+                _ServedRecord(
+                    client=request.client,
+                    seq=seq,
+                    request_id=handle.request_id,
+                    status=response.status,
+                    cached=response.cached,
+                    executed=executed,
+                    epoch=response.epoch,
+                    lo=request.lo,
+                    hi=request.hi,
+                    keys_only=request.keys_only,
+                    latency=(
+                        response.cost.latency
+                        if response.cost is not None else 0.0
+                    ),
+                    spans=slot.spans if slot is not None else (),
+                )
+            )
+            self._served_log.append(
+                (handle.request_id, request.client, response.status)
+            )
+            self._active -= 1
+            self._cond.notify_all()
+        handle._resolve(response)
+
+    def _evict_locked(self) -> None:
+        """Drop least-recently-used *completed* entries over capacity."""
+        while len(self._cache) > self._cache_capacity:
+            victim = None
+            for key, slot in self._cache.items():
+                if slot.event.is_set():
+                    victim = key
+                    break
+            if victim is None:
+                return  # every entry is an in-flight fill; over-admit
+            del self._cache[victim]
+
+    # ------------------------------------------------------- obs merge
+
+    def _merge(self) -> None:
+        """Fold worker observability into the session stack, once.
+
+        Runs single-threaded after every worker has joined.  Order is
+        everything here: observations and span replays happen in
+        sorted ``(client, per-client sequence)`` order — a total order
+        fixed by the submission pattern, not by thread timing — so the
+        merged registry and trace are backend- and race-independent.
+        Worker-side ``query.latency`` histograms are deliberately
+        *not* merged (float bucket totals summed in thread order would
+        not be exact); the histogram is rebuilt from the per-request
+        modeled latencies instead.
+        """
+        if not self.obs.enabled:
+            return
+        with self._cond:
+            records = sorted(self._records, key=lambda r: (r.client, r.seq))
+        stats = self.stats
+        totals: dict[str, float] = {}
+        for worker_obs in self._worker_obs:
+            snap = worker_obs.metrics.snapshot()
+            counters = snap.get("counters")
+            assert isinstance(counters, dict)
+            for name, value in counters.items():
+                assert isinstance(value, (int, float))
+                totals[str(name)] = totals.get(str(name), 0.0) + value
+        metrics = self.obs.metrics
+        for name in sorted(totals):
+            value = totals[name]
+            # engine counters are integer-valued; keep them ints so the
+            # merged snapshot renders identically to a serial run's
+            metrics.counter(name).add(
+                int(value) if float(value).is_integer() else value
+            )
+        hist_query = metrics.histogram("query.latency", LATENCY_BOUNDS)
+        hist_serve = metrics.histogram("serve.latency", LATENCY_BOUNDS)
+        client_ts: dict[str, float] = {}
+        for rec in records:
+            if rec.executed:
+                hist_query.observe(rec.latency)
+            if rec.status in _ANSWERED:
+                # a cache hit costs no engine time; it still counts as
+                # a served request, at zero modeled latency
+                hist_serve.observe(0.0 if rec.cached else rec.latency)
+            track = self.obs.track("serve", rec.client)
+            t0 = client_ts.get(rec.client, 0.0)
+            dur = rec.latency if rec.executed else 0.0
+            self.obs.tracer.complete(
+                track, "serve", t0, dur,
+                {
+                    "request": rec.request_id, "client": rec.client,
+                    "status": rec.status, "cached": rec.cached,
+                    "epoch": rec.epoch, "lo": rec.lo, "hi": rec.hi,
+                    "keys_only": rec.keys_only,
+                },
+            )
+            if rec.spans:
+                # engine bundles were recorded on worker-local clocks;
+                # rebase each onto this client's serve timeline so the
+                # trace is independent of which worker ran the query
+                base = min(float(s["ts"]) for s in rec.spans)
+                self.obs.tracer.merge_events(
+                    [
+                        {**span, "ts": t0 + (float(span["ts"]) - base)}
+                        for span in rec.spans
+                    ]
+                )
+            client_ts[rec.client] = t0 + dur
+        for name, value in (
+            ("serve.requests", stats.submitted),
+            ("serve.served", stats.served),
+            ("serve.ok", stats.ok),
+            ("serve.deadline_exceeded", stats.deadline_exceeded),
+            ("serve.rejected", stats.rejected),
+            ("serve.errors", stats.errors),
+            ("serve.cache_hits", stats.cache_hits),
+            ("serve.cache_misses", stats.cache_misses),
+            ("serve.invalidations", stats.invalidations),
+        ):
+            metrics.counter(name).add(value)
+        self.obs.telemetry.sample("serve")

@@ -36,6 +36,7 @@ from repro.storage.manifest import (
     encode_manifest_block,
 )
 from repro.storage.recovery import (
+    CommittedState,
     RepairAction,
     find_committed_state,
     repair_log,
@@ -234,15 +235,32 @@ class LogReader:
     opened at its newest *valid* footer instead of failing — the
     epoch-aligned recovery semantics of paper §V-A: data is durable at
     checkpoint-epoch granularity, and a torn epoch simply disappears.
+
+    ``pin=`` opens the reader at a previously validated commit point
+    (a :class:`~repro.storage.recovery.CommittedState`, usually taken
+    by :func:`repro.storage.snapshot.pin_snapshot`) instead of parsing
+    the current footer: the manifest chain is *not* re-walked and
+    bytes appended after the pin are never consulted, which is what
+    lets a pinned reader coexist with a live writer appending to the
+    same log.  A pinned empty state (``pin`` with no entries) is
+    legal even for a zero-length file.
     """
 
-    def __init__(self, path: Path | str, recover: bool = False) -> None:
+    def __init__(
+        self,
+        path: Path | str,
+        recover: bool = False,
+        pin: "CommittedState | None" = None,
+    ) -> None:
         self.path = Path(path)
         self._fh = open(self.path, "rb")
         try:
             self._size = os.path.getsize(self.path)
             self.recovered_bytes_dropped = 0
-            self._entries = self._load_entries(recover)
+            if pin is not None:
+                self._entries = list(pin.entries)
+            else:
+                self._entries = self._load_entries(recover)
         except BaseException:
             # a reader that failed to parse has no owner to close it
             self._fh.close()

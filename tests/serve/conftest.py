@@ -1,0 +1,44 @@
+"""Shared fixtures for the serving-plane tests: one small ingested DB.
+
+The standalone :class:`~repro.query.service.QueryService` tests only
+need a directory of committed logs, so it is built once per module;
+tests that exercise live ``Session`` behaviour (snapshot pinning
+across ingest, the serve plane under a concurrent writer) build their
+own sessions from the same trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session
+from repro.core.config import CarpOptions
+from repro.traces.vpic import VpicTraceSpec, generate_timestep
+
+OPTIONS = CarpOptions(
+    pivot_count=32,
+    oob_capacity=32,
+    renegotiations_per_epoch=3,
+    memtable_records=256,
+    round_records=128,
+    value_size=8,
+)
+
+TRACE = VpicTraceSpec(nranks=4, particles_per_rank=300, value_size=8, seed=7)
+
+#: A window wide enough to match every key the trace generates.
+WIDE = (0.0, 1.0e9)
+
+
+def streams(epoch: int):
+    return generate_timestep(TRACE, epoch)
+
+
+@pytest.fixture(scope="module")
+def db_dir(tmp_path_factory):
+    """Two committed epochs, ingested serially, session closed."""
+    out = tmp_path_factory.mktemp("serve-db") / "db"
+    with Session(TRACE.nranks, out, OPTIONS) as session:
+        session.ingest_epoch(0, streams(0))
+        session.ingest_epoch(1, streams(1))
+    return out

@@ -1,0 +1,422 @@
+"""QueryService: admission, fairness, single-flight cache, deadlines,
+cross-backend byte-identity under concurrent ingest, and the
+deterministic close-time observability merge."""
+
+from __future__ import annotations
+
+import re
+import threading
+
+import pytest
+
+from repro.api import Session
+from repro.exec import ProcessExecutor, SerialExecutor, ThreadExecutor
+from repro.query.engine import LATENCY_BOUNDS
+from repro.query.request import (
+    STATUS_DEADLINE_EXCEEDED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    QueryRequest,
+)
+from repro.query.service import QueryService
+
+from tests.serve.conftest import OPTIONS, TRACE, WIDE, streams
+
+CLIENTS = 8
+
+
+def _window(client: int, q: int, phase: int = 0) -> tuple[float, float]:
+    """Distinct (client, q, phase) windows: no accidental cache sharing."""
+    lo = 0.1 + client * 0.31 + q * 0.07 + phase * 0.011
+    return lo, lo + 0.5
+
+
+def _run_clients(service, per_client):
+    responses = {}
+    guard = threading.Lock()
+
+    def loop(name, requests):
+        mine = [service.query(r) for r in requests]
+        with guard:
+            responses[name] = mine
+
+    threads = [
+        threading.Thread(target=loop, args=(name, reqs))
+        for name, reqs in per_client.items()
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return responses
+
+
+class TestAdmission:
+    def test_submit_and_result(self, db_dir):
+        lo, hi = WIDE
+        with QueryService(db_dir, workers=2) as service:
+            handle = service.submit(QueryRequest(lo=lo, hi=hi))
+            assert re.fullmatch(r"query-\d{6}", handle.request_id)
+            resp = handle.result()
+            assert resp.ok and resp.epoch == 1 and len(resp) > 0
+            assert resp.request_id == handle.request_id
+            assert resp.snapshot_token == service.snapshot.token
+
+    def test_invalid_request_raises_at_submit(self, db_dir):
+        with QueryService(db_dir, workers=1) as service:
+            with pytest.raises(ValueError, match="empty query range"):
+                service.submit(QueryRequest(lo=2.0, hi=1.0))
+
+    def test_submit_after_close_raises(self, db_dir):
+        service = QueryService(db_dir, workers=1)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(QueryRequest(lo=0.0, hi=1.0))
+        service.close()  # idempotent
+
+    def test_overload_rejects_immediately(self, db_dir):
+        lo, hi = WIDE
+        service = QueryService(
+            db_dir, workers=1, max_pending=2, autostart=False
+        )
+        admitted = [
+            service.submit(QueryRequest(lo=lo + i, hi=hi)) for i in range(2)
+        ]
+        overflow = service.submit(QueryRequest(lo=lo + 9.0, hi=hi))
+        # rejected synchronously, while the admitted two are still queued
+        assert overflow.done()
+        resp = overflow.result()
+        assert resp.status == STATUS_REJECTED
+        assert resp.epoch == -1 and len(resp) == 0
+        assert "admission queue full" in resp.detail
+        assert not admitted[0].done()
+        service.close()  # a paused service still answers what it admitted
+        assert all(h.result().ok for h in admitted)
+        stats = service.stats
+        assert stats.submitted == 3
+        assert stats.rejected == 1 and stats.ok == 2
+
+    def test_result_timeout_on_paused_service(self, db_dir):
+        service = QueryService(db_dir, workers=1, autostart=False)
+        handle = service.submit(QueryRequest(lo=WIDE[0], hi=WIDE[1]))
+        with pytest.raises(TimeoutError):
+            handle.result(timeout=0.05)
+        service.close()
+        assert handle.result().ok
+
+    def test_drain_waits_for_all_admitted(self, db_dir):
+        lo, hi = WIDE
+        with QueryService(db_dir, workers=2) as service:
+            handles = [
+                service.submit(QueryRequest(lo=lo + i, hi=hi))
+                for i in range(6)
+            ]
+            service.drain()
+            assert all(h.done() for h in handles)
+
+
+class TestFairness:
+    def test_round_robin_interleaves_a_hog(self, db_dir):
+        """One victim request behind a 6-deep hog backlog is served
+        second, not seventh: dispatch is round-robin per client."""
+        lo, hi = WIDE
+        service = QueryService(db_dir, workers=1, autostart=False)
+        for i in range(6):
+            service.submit(
+                QueryRequest(lo=lo + i, hi=hi, client="hog")
+            )
+        victim = service.submit(
+            QueryRequest(lo=lo, hi=hi, client="victim")
+        )
+        service.close()  # drains with the single worker
+        assert victim.result().ok
+        order = [client for _, client, _ in service.served_log]
+        assert order[0] == "hog"
+        assert order[1] == "victim"
+        assert order[2:] == ["hog"] * 5
+
+
+class TestCache:
+    def test_single_flight_coalesces_duplicates(self, db_dir):
+        """Five concurrent identical requests: exactly one engine
+        execution, whatever the worker timing."""
+        lo, hi = WIDE
+        service = QueryService(db_dir, workers=3, autostart=False)
+        handles = [
+            service.submit(QueryRequest(lo=lo, hi=hi)) for _ in range(5)
+        ]
+        service.start()
+        responses = [h.result() for h in handles]
+        service.close()
+        assert all(r.ok for r in responses)
+        assert len({r.payload() for r in responses}) == 1
+        assert sum(1 for r in responses if not r.cached) == 1
+        stats = service.stats
+        assert stats.cache_misses == 1 and stats.cache_hits == 4
+        assert stats.engine_queries == 1
+
+    def test_eviction_keeps_cache_bounded(self, db_dir):
+        lo, _ = WIDE
+        with QueryService(db_dir, workers=1, cache_capacity=2) as service:
+            for i in range(5):
+                assert service.query(
+                    QueryRequest(lo=lo + i, hi=lo + i + 0.5)
+                ).ok
+            # re-issuing the newest entry hits; the evicted oldest misses
+            assert service.query(
+                QueryRequest(lo=lo + 4, hi=lo + 4 + 0.5)
+            ).cached
+            assert not service.query(
+                QueryRequest(lo=lo, hi=lo + 0.5)
+            ).cached
+            assert service.stats.engine_queries == 6
+
+    def test_uncommitted_epoch_is_an_error_response(self, db_dir):
+        with QueryService(db_dir, workers=1) as service:
+            resp = service.query(
+                QueryRequest(lo=WIDE[0], hi=WIDE[1], epoch=7)
+            )
+            assert resp.status == STATUS_ERROR
+            assert "not committed" in resp.detail
+            assert service.stats.errors == 1
+            # errors never enter the cache or the hit/miss counters
+            assert service.stats.cache_misses == 0
+
+
+class TestDeadline:
+    def test_deadline_exceeded_is_deterministic(self, db_dir):
+        with QueryService(db_dir, workers=2) as service:
+            timed_out = [
+                service.query(
+                    QueryRequest(lo=WIDE[0], hi=WIDE[1], deadline=1e-9)
+                )
+                for _ in range(3)
+            ]
+            fine = service.query(
+                QueryRequest(lo=WIDE[0], hi=WIDE[1], deadline=1e9)
+            )
+        assert fine.ok and len(fine) > 0
+        for resp in timed_out:
+            assert resp.status == STATUS_DEADLINE_EXCEEDED
+            assert len(resp) == 0
+            assert resp.cost is not None and resp.cost.latency > 1e-9
+        assert service.stats.deadline_exceeded == 3
+
+
+class TestInvalidation:
+    def test_epoch_commit_advances_the_snapshot(self, tmp_path):
+        lo, hi = WIDE
+        with Session(TRACE.nranks, tmp_path / "db", OPTIONS) as session:
+            session.ingest_epoch(0, streams(0))
+            service = session.serve(workers=2)
+            before = service.query(QueryRequest(lo=lo, hi=hi))
+            assert before.epoch == 0
+            token_before = service.snapshot.token
+            session.ingest_epoch(1, streams(1))
+            after = service.query(QueryRequest(lo=lo, hi=hi))
+            assert after.epoch == 1
+            assert service.snapshot.token != token_before
+            assert after.snapshot_token != before.snapshot_token
+            # the same epoch-0 answer is still servable and identical
+            # (its cache key carried the old token, so this re-executes)
+            again = service.query(QueryRequest(lo=lo, hi=hi, epoch=0))
+            assert again.payload() == before.payload()
+            assert service.stats.invalidations == 1
+
+
+class _Backends:
+    @staticmethod
+    def make(backend: str):
+        if backend == "serial":
+            return SerialExecutor()
+        if backend == "thread":
+            return ThreadExecutor(3)
+        return ProcessExecutor(2)
+
+
+class TestConcurrentIngestIdentity:
+    """The acceptance criterion: a mixed workload — ingest interleaved
+    with >= 8 concurrent clients — returns byte-identical payloads vs
+    a serial post-hoc run against the matching committed epochs, on
+    all three executor backends."""
+
+    def _mixed_run(self, backend: str, out_dir):
+        with _Backends.make(backend) as executor:
+            with Session(
+                TRACE.nranks, out_dir, OPTIONS, executor=executor
+            ) as session:
+                session.ingest_epoch(0, streams(0))
+                service = session.serve(workers=3)
+                ingest = threading.Thread(
+                    target=session.ingest_epoch, args=(1, streams(1))
+                )
+                ingest.start()
+                per_client = {
+                    f"client-{c}": [
+                        QueryRequest(
+                            lo=_window(c, q)[0], hi=_window(c, q)[1],
+                            epoch=0, client=f"client-{c}",
+                        )
+                        for q in range(3)
+                    ]
+                    for c in range(CLIENTS)
+                }
+                responses = _run_clients(service, per_client)
+                ingest.join()
+                service.close()
+                flat = [r for rs in responses.values() for r in rs]
+                assert len(flat) == CLIENTS * 3
+                assert all(r.ok for r in flat)
+                # serial post-hoc replay through the session (epoch 0
+                # bytes are immutable, so "the matching committed
+                # snapshot" is simply the epoch itself)
+                for resp in flat:
+                    replay = session.query(
+                        QueryRequest(lo=resp.lo, hi=resp.hi, epoch=0)
+                    )
+                    assert resp.payload() == replay.payload()
+                return sorted(r.digest() for r in flat)
+
+    def test_payloads_identical_across_backends(self, tmp_path):
+        digests = {
+            backend: self._mixed_run(backend, tmp_path / backend)
+            for backend in ("serial", "thread", "process")
+        }
+        assert digests["serial"] == digests["thread"] == digests["process"]
+
+
+class TestObservabilityMerge:
+    def _served_session(self, out_dir):
+        """A deterministic served pattern with a known hit/miss split:
+        per client, 2 distinct misses + 1 repeat hit (closed loop)."""
+        with Session(
+            TRACE.nranks, out_dir, OPTIONS, record=True
+        ) as session:
+            session.ingest_epoch(0, streams(0))
+            service = session.serve(workers=3)
+            per_client = {}
+            for c in range(CLIENTS):
+                reqs = [
+                    QueryRequest(
+                        lo=_window(c, q)[0], hi=_window(c, q)[1],
+                        client=f"client-{c:02d}",
+                    )
+                    for q in range(2)
+                ]
+                per_client[f"client-{c:02d}"] = reqs + [reqs[0]]
+            responses = _run_clients(service, per_client)
+            service.close()
+            return session, service, responses
+
+    def test_counters_reconcile_exactly_with_engine_stats(self, tmp_path):
+        session, service, _ = self._served_session(tmp_path / "db")
+        stats = service.stats
+        assert stats.submitted == CLIENTS * 3
+        assert stats.ok == CLIENTS * 3
+        assert stats.cache_misses == CLIENTS * 2
+        assert stats.cache_hits == CLIENTS
+        # misses are engine executions, nothing else is
+        assert stats.engine_queries == stats.cache_misses
+        metrics = session.obs.metrics
+        # the merged engine histogram holds exactly one observation per
+        # engine execution; the serve histogram one per answered request
+        assert metrics.histogram(
+            "query.latency", LATENCY_BOUNDS
+        ).count == stats.engine_queries
+        assert metrics.histogram(
+            "serve.latency", LATENCY_BOUNDS
+        ).count == stats.ok
+        counters = metrics.snapshot()["counters"]
+        assert counters["serve.requests"] == stats.submitted
+        assert counters["serve.ok"] == stats.ok
+        assert counters["serve.cache_hits"] == stats.cache_hits
+        assert counters["serve.cache_misses"] == stats.cache_misses
+        assert counters["serve.rejected"] == 0
+        assert counters["serve.errors"] == 0
+        # merged worker counters stay integers (render like serial runs)
+        assert isinstance(counters["query.read_requests"], int)
+
+    def test_request_ids_flow_into_the_merged_trace(self, tmp_path):
+        session, service, responses = self._served_session(tmp_path / "db")
+        ids = {
+            r.request_id for rs in responses.values() for r in rs
+        }
+        assert len(ids) == CLIENTS * 3
+        assert all(re.fullmatch(r"query-\d{6}", i) for i in ids)
+        events = session.obs.tracer.to_doc()["traceEvents"]
+        serve_spans = [
+            e for e in events
+            if e.get("name") == "serve"
+            and isinstance(e.get("args"), dict)
+        ]
+        assert {e["args"]["request"] for e in serve_spans} == ids
+        by_id = {e["args"]["request"]: e["args"] for e in serve_spans}
+        for rs in responses.values():
+            for r in rs:
+                assert by_id[r.request_id]["status"] == STATUS_OK
+                assert by_id[r.request_id]["cached"] == r.cached
+
+    def test_merge_is_interleaving_independent(self, tmp_path):
+        """Two runs of the same served pattern produce the same merged
+        serve spans and counters, whatever the worker timing was.
+
+        Request ids are deliberately left out of the fingerprint: they
+        are minted in admission order, which *is* submission-
+        interleaving dependent; everything the merge keys on
+        ``(client, sequence)`` — timeline, duration, cache flag,
+        window — must not be."""
+
+        def fingerprint(out_dir):
+            session, service, _ = self._served_session(out_dir)
+            events = session.obs.tracer.to_doc()["traceEvents"]
+            spans = sorted(
+                (e["args"]["client"], e.get("ts"), e.get("dur"),
+                 e["args"]["cached"], e["args"]["status"],
+                 e["args"]["lo"], e["args"]["hi"])
+                for e in events
+                if e.get("name") == "serve"
+                and isinstance(e.get("args"), dict)
+            )
+            counters = session.obs.metrics.snapshot()["counters"]
+            return spans, {
+                k: v for k, v in counters.items()
+                if k.startswith(("serve.", "query."))
+            }
+
+        assert fingerprint(tmp_path / "a") == fingerprint(tmp_path / "b")
+
+
+class TestExplainIds:
+    def test_explain_mints_traceable_request_ids(self, tmp_path):
+        lo, hi = WIDE
+        with Session(
+            TRACE.nranks, tmp_path / "db", OPTIONS, record=True
+        ) as session:
+            session.ingest_epoch(0, streams(0))
+            report = session.explain(QueryRequest(lo=lo, hi=hi))
+            resp = session.query(QueryRequest(lo=lo, hi=hi))
+            # EXPLAIN reconciles exactly against the executed cost
+            assert resp.cost is not None
+            assert report.cost == resp.cost
+            events = session.obs.tracer.to_doc()["traceEvents"]
+            explain_spans = [
+                e for e in events
+                if e.get("name") == "explain"
+                and isinstance(e.get("args"), dict)
+            ]
+            assert [e["args"]["request"] for e in explain_spans] == [
+                "explain-000001"
+            ]
+
+    def test_legacy_positional_spread_still_works(self, tmp_path):
+        lo, hi = WIDE
+        with Session(TRACE.nranks, tmp_path / "db", OPTIONS) as session:
+            session.ingest_epoch(0, streams(0))
+            legacy = session.query(0, lo, hi)
+            typed = session.query(QueryRequest(lo=lo, hi=hi, epoch=0))
+            assert legacy.payload() == typed.payload()
+            legacy_explain = session.explain(0, lo, hi)
+            assert legacy_explain.cost == legacy.cost
+            with pytest.raises(TypeError, match="not both"):
+                session.query(QueryRequest(lo=lo, hi=hi), lo=lo, hi=hi)

@@ -1,0 +1,96 @@
+"""Snapshot pinning: tokens, epoch resolution, and survival of pinned
+views across concurrent ingest (the ``_invalidate_views`` regression)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session
+from repro.query.request import QueryRequest
+from repro.storage.snapshot import pin_snapshot
+
+from tests.serve.conftest import OPTIONS, TRACE, WIDE, streams
+
+
+class TestPinning:
+    def test_token_names_committed_bytes(self, db_dir):
+        a = pin_snapshot(db_dir)
+        b = pin_snapshot(db_dir)
+        assert a.token == b.token
+        assert a.epochs() == (0, 1)
+        assert a.latest_epoch == 1
+        assert a.total_records() == 2 * TRACE.nranks * TRACE.particles_per_rank
+
+    def test_no_logs_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            pin_snapshot(tmp_path)
+
+    def test_resolve_epoch(self, db_dir):
+        snap = pin_snapshot(db_dir)
+        assert snap.resolve_epoch(None) == 1
+        assert snap.resolve_epoch(0) == 0
+        with pytest.raises(ValueError, match="not committed"):
+            snap.resolve_epoch(7)
+
+
+class TestSessionSnapshots:
+    def test_pin_advances_with_commits(self, tmp_path):
+        with Session(TRACE.nranks, tmp_path / "db", OPTIONS) as session:
+            session.ingest_epoch(0, streams(0))
+            first = session.snapshot()
+            assert first.epochs() == (0,)
+            session.ingest_epoch(1, streams(1))
+            second = session.snapshot()
+            assert second.token != first.token
+            assert second.epochs() == (0, 1)
+            # the old pin is plain metadata; it still names epoch 0 only
+            assert first.epochs() == (0,)
+
+    def test_pinned_view_survives_ingest(self, tmp_path):
+        """The regression ISSUE 8 fixes: ``_invalidate_views`` used to
+        tear down every read view on ingest; pinned stores must survive
+        and keep answering byte-identically."""
+        lo, hi = WIDE
+        with Session(TRACE.nranks, tmp_path / "db", OPTIONS) as session:
+            session.ingest_epoch(0, streams(0))
+            snap = session.snapshot()
+            pinned = session.store(snapshot=snap)
+            before = session.query(
+                QueryRequest(lo=lo, hi=hi), snapshot=snap
+            )
+            session.ingest_epoch(1, streams(1))  # runs _invalidate_views
+            # same object, not a re-opened one: the view was not torn down
+            assert session.store(snapshot=snap) is pinned
+            after = session.query(
+                QueryRequest(lo=lo, hi=hi), snapshot=snap
+            )
+            assert after.payload() == before.payload()
+            assert after.snapshot_token == snap.token
+
+    def test_snapshot_isolation_from_later_epochs(self, tmp_path):
+        lo, hi = WIDE
+        with Session(TRACE.nranks, tmp_path / "db", OPTIONS) as session:
+            session.ingest_epoch(0, streams(0))
+            snap = session.snapshot()
+            session.ingest_epoch(1, streams(1))
+            # epoch-or-latest on the pin resolves to the pinned newest
+            resp = session.query(QueryRequest(lo=lo, hi=hi), snapshot=snap)
+            assert resp.epoch == 0
+            with pytest.raises(ValueError, match="not committed"):
+                session.query(
+                    QueryRequest(lo=lo, hi=hi, epoch=1), snapshot=snap
+                )
+            # the live view does see the new epoch
+            assert session.query(QueryRequest(lo=lo, hi=hi)).epoch == 1
+
+    def test_release_closes_pinned_view(self, tmp_path):
+        lo, hi = WIDE
+        with Session(TRACE.nranks, tmp_path / "db", OPTIONS) as session:
+            session.ingest_epoch(0, streams(0))
+            snap = session.snapshot()
+            pinned = session.store(snapshot=snap)
+            session.release(snapshot=snap)
+            assert session.store(snapshot=snap) is not pinned
+            # releasing an unopened snapshot is a no-op
+            session.release(snapshot=session.snapshot())
+            session.query(QueryRequest(lo=lo, hi=hi), snapshot=snap)

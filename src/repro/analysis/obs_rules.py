@@ -48,6 +48,16 @@ O504
     that reads the host clock is nondeterministic across backends.
     Method bodies may touch files (``ChromeTracer.write`` et al. are
     explicit persist calls); import and ``__init__`` may not.
+O505
+    Live observability reaching a profile builder.  Profile modules
+    (``repro.obs.profile``) fold *archived artifacts* — decoded
+    ``trace.json`` events and ``metrics.json`` snapshots — into
+    deterministic cost-attribution profiles; importing the live stack
+    (``Obs``, tracers, registries, clocks), accepting an ``obs``
+    parameter, or constructing a recording stack would let a profile
+    observe a *run* instead of its artifacts and break the
+    bit-identical-across-backends contract (wall clock is already
+    banned in this scope by O501).
 """
 
 from __future__ import annotations
@@ -364,9 +374,132 @@ class InjectedTelemetrySinkRule(Rule):
         return out
 
 
+#: Factories that hand out a *live* observability stack — the recording
+#: constructors plus the null/delta accessors.  A profile builder may
+#: not call any of them: even ``NULL_OBS`` reaching a fold means the
+#: profile is wired to a run instead of to archived artifacts.
+LIVE_STACK_FACTORIES = RECORDING_CONSTRUCTORS | frozenset(
+    {
+        "repro.obs.Obs.null",
+        "repro.obs.Obs.deltas",
+        "repro.obs.NULL_OBS",
+    }
+)
+
+
+def _mentions_obs(annotation: ast.expr) -> bool:
+    """Whether a parameter annotation names the live ``Obs`` type.
+
+    Walks the annotation so unions (``Obs | None``), qualified forms
+    (``repro.obs.Obs``) and string annotations all count.
+    """
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id == "Obs":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "Obs":
+            return True
+        if isinstance(node, ast.Constant) and node.value == "Obs":
+            return True
+    return False
+
+
+class ArchivedArtifactProfilerRule(Rule):
+    id = "O505"
+    name = "archived-artifact-profiler"
+    description = (
+        "live observability reaching a profile builder — profiles fold "
+        "archived artifacts, never a running Obs stack"
+    )
+    scope = ("repro.obs.profile",)
+
+    def applies(self, ctx: FileContext) -> bool:
+        # Fixtures and ad-hoc files (module=None) are normally in scope
+        # for every rule; this contract is specific enough that it only
+        # makes sense for profile-builder code, so key on the filename.
+        if ctx.module is None:
+            return "profile" in ctx.path.stem
+        return super().applies(ctx)
+
+    def _params(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    ) -> list[ast.arg]:
+        a = fn.args
+        return [*a.posonlyargs, *a.args, *a.kwonlyargs]
+
+    def check(self, ctx: FileContext) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if (alias.name == "repro.obs"
+                            or alias.name.startswith("repro.obs.")):
+                        if alias.name == "repro.obs.profile":
+                            continue
+                        out.append(
+                            self.violation(
+                                ctx, node,
+                                f"import of {alias.name!r} in a profile "
+                                "builder — fold decoded trace.json / "
+                                "metrics.json documents, not the live "
+                                "observability stack",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                if node.level == 0 and not (
+                    mod == "repro.obs" or mod.startswith("repro.obs.")
+                ):
+                    continue
+                if node.level == 0 and mod == "repro.obs.profile":
+                    continue
+                if node.level > 0 and ctx.module is None:
+                    continue
+                what = "." * node.level + mod
+                out.append(
+                    self.violation(
+                        ctx, node,
+                        f"import from {what!r} in a profile builder — "
+                        "fold decoded trace.json / metrics.json "
+                        "documents, not the live observability stack",
+                    )
+                )
+            elif isinstance(node, ast.Call):
+                qual = qualified_name(node.func, ctx.aliases)
+                if qual in LIVE_STACK_FACTORIES:
+                    short = qual.rsplit(".", 1)[-1]
+                    out.append(
+                        self.violation(
+                            ctx, node,
+                            f"{short}() called in a profile builder — a "
+                            "profile may only read archived artifacts, "
+                            "never construct or borrow an Obs stack",
+                        )
+                    )
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                for arg in self._params(node):
+                    live = arg.arg == "obs" or (
+                        arg.annotation is not None
+                        and _mentions_obs(arg.annotation)
+                    )
+                    if live:
+                        out.append(
+                            self.violation(
+                                ctx, arg,
+                                f"parameter {arg.arg!r} injects live "
+                                "observability into a profile builder — "
+                                "take the decoded event list / metrics "
+                                "snapshot instead",
+                            )
+                        )
+        return out
+
+
 OBS_RULES: tuple[Rule, ...] = (
     WallClockModuleRule(),
     InjectedInstrumentationRule(),
     StaticInstrumentNameRule(),
     InjectedTelemetrySinkRule(),
+    ArchivedArtifactProfilerRule(),
 )

@@ -153,6 +153,7 @@ class CarpRun:
             self.obs.track("flush", f"rank {r}")
         metrics = self.obs.metrics
         self._m_records = metrics.counter("carp.records_ingested")
+        self._m_routed = metrics.counter("carp.records_routed")
         self._m_shuffled = metrics.counter("carp.records_shuffled")
         self._m_oob = metrics.counter("carp.records_oob_buffered")
         self._m_reneg_rounds = metrics.counter("reneg.rounds")
@@ -549,6 +550,12 @@ class CarpRun:
         if not self._obs_on:
             return self._route_impl(r, batch)
         self._m_route_hist.observe(len(batch))
+        # counts every record a route pass handled — including OOB
+        # leftovers re-routed after a renegotiation, so it exceeds
+        # carp.records_ingested exactly when re-routing happened; the
+        # route span args carry the same quantity and carp-profile
+        # joins the two (RECONCILIATIONS in repro.obs.profile)
+        self._m_routed.add(len(batch))
         with self.obs.span(
             self._tr_route[r], "route", dur=len(batch) * RECORD_TICK,
             args={"rank": r, "records": len(batch)},

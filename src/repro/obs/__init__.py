@@ -100,7 +100,7 @@ class Span:
     on the timeline.
     """
 
-    __slots__ = ("_obs", "_track", "_name", "_dur", "_args")
+    __slots__ = ("_obs", "_track", "_name", "_dur", "_args", "_exit_args")
 
     def __init__(self, obs: "Obs", track: Track, name: str, dur: float,
                  args: dict[str, object] | None) -> None:
@@ -109,6 +109,20 @@ class Span:
         self._name = name
         self._dur = dur
         self._args = args
+        self._exit_args: dict[str, object] | None = None
+
+    def annotate(self, args: dict[str, object]) -> None:
+        """Attach exact measured facts to the span's ``E`` event.
+
+        For values only known once the work ran (bytes actually
+        written, SSTs actually produced): the ``E`` event carries them,
+        and ``carp-profile`` joins them against the metrics counters
+        incremented at the same code sites.
+        """
+        if self._exit_args is None:
+            self._exit_args = dict(args)
+        else:
+            self._exit_args.update(args)
 
     def __enter__(self) -> "Span":
         self._obs.tracer.begin(self._track, self._name,
@@ -120,13 +134,17 @@ class Span:
                  tb: TracebackType | None) -> None:
         if self._dur:
             self._obs.clock.advance(self._dur)
-        self._obs.tracer.end(self._track, self._obs.clock.now())
+        self._obs.tracer.end(self._track, self._obs.clock.now(),
+                             self._exit_args)
 
 
 class _NullSpan:
     """Shared no-op span for disabled observability."""
 
     __slots__ = ()
+
+    def annotate(self, args: dict[str, object]) -> None:
+        return None
 
     def __enter__(self) -> "_NullSpan":
         return self

@@ -2,11 +2,16 @@
 
 :func:`run_workload` executes one :class:`WorkloadSpec` in a scratch
 directory under a recording observability stack and summarizes it into
-:class:`Metric` values.  :func:`write_baseline` persists them through
-:func:`repro.bench.results.emit` (rows + units + git SHA) into
-``results/baselines/<name>.json``; :func:`compare_workload` re-runs
-the workload and diffs fresh metrics against the committed baseline
-with per-metric semantics:
+a :class:`WorkloadRun` — :class:`Metric` values plus a folded
+cost-attribution :class:`~repro.obs.profile.Profile` whose totals are
+reconciled against the run's metrics counters (the reconciliation
+error count rides along as an *exact* metric, so any attribution
+drift trips the gate).  :func:`write_baseline` persists the metrics
+through :func:`repro.bench.results.emit` (rows + units + git SHA) into
+``results/baselines/<name>.json`` and the profile beside them under
+``results/baselines/profiles/``; :func:`compare_workload` re-runs the
+workload and diffs fresh metrics against the committed baseline with
+per-metric semantics:
 
 * ``virtual``/``exact`` metrics are **blocking** — virtual-time cost
   may drift at most ``tolerance`` (relative) before the comparison
@@ -32,6 +37,7 @@ from repro.bench.results import emit, results_dir
 from repro.bench.tables import render_table
 from repro.core.carp import CarpRun
 from repro.obs import Obs, TelemetryStream
+from repro.obs.profile import Profile, fold
 from repro.perf.workloads import WorkloadSpec
 from repro.query.engine import PartitionedStore
 from repro.storage.compactor import compact_all_epochs
@@ -71,6 +77,12 @@ class Metric:
 
 # ---------------------------------------------------------------- running
 
+#: What every runner hands back: metric rows plus the raw material of
+#: the run's cost-attribution profile — trace events and the metrics
+#: snapshot they must reconcile against (both in archived-artifact
+#: form, so the fold is exactly what ``carp-profile record`` would do).
+_RunnerResult = tuple[list[Metric], list[dict[str, Any]], dict[str, Any]]
+
 
 def _trace_spec(spec: WorkloadSpec) -> VpicTraceSpec:
     return VpicTraceSpec(
@@ -90,7 +102,7 @@ def _ingest(spec: WorkloadSpec, out_dir: Path, obs: Obs) -> None:
                 run.ingest_epoch(epoch, generate_timestep(trace, epoch))
 
 
-def _run_ingest(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
+def _run_ingest(spec: WorkloadSpec, scratch: Path) -> _RunnerResult:
     obs = Obs.recording()
     wall0 = time.perf_counter()
     _ingest(spec, scratch / "db", obs)
@@ -109,19 +121,23 @@ def _run_ingest(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
                counters.counter_value("koidb.ssts_written"),
                "ssts", "exact", 0.0),
         Metric("wall_seconds", wall, "s", "wall", WALL_TOLERANCE),
-    ]
+    ], obs.tracer.events(), obs.metrics.snapshot()
 
 
-def _run_query(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
+def _run_query(spec: WorkloadSpec, scratch: Path) -> _RunnerResult:
     db_dir = scratch / "db"
     _ingest(spec, db_dir, Obs.null())
+    # gated values come from the returned QueryCost objects; the
+    # recording stack only adds the probe/query span timeline and the
+    # query.* counters the folded profile reconciles against
+    obs = Obs.recording()
     latency = 0.0
     bytes_read = 0
     matched = 0
     requests = 0
     wall0 = time.perf_counter()
     with spec.make_executor() as executor:
-        with PartitionedStore(db_dir, executor=executor) as store:
+        with PartitionedStore(db_dir, executor=executor, obs=obs) as store:
             for epoch in store.epochs():
                 lo, hi = store.key_range(epoch)
                 width = (hi - lo) / max(spec.queries * 4, 1)
@@ -140,17 +156,18 @@ def _run_query(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
         Metric("query_records_matched", matched, "records", "exact", 0.0),
         Metric("query_read_requests", requests, "requests", "exact", 0.0),
         Metric("wall_seconds", wall, "s", "wall", WALL_TOLERANCE),
-    ]
+    ], obs.tracer.events(), obs.metrics.snapshot()
 
 
-def _run_compact(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
+def _run_compact(spec: WorkloadSpec, scratch: Path) -> _RunnerResult:
     src = scratch / "db"
     dst = scratch / "compacted"
     _ingest(spec, src, Obs.null())
+    obs = Obs.recording()
     wall0 = time.perf_counter()
     with spec.make_executor() as executor:
         epoch_dirs = compact_all_epochs(src, dst, spec.sst_records,
-                                        executor=executor)
+                                        executor=executor, obs=obs)
     wall = time.perf_counter() - wall0
     out_bytes = sum(
         p.stat().st_size for d in epoch_dirs for p in list_logs(d)
@@ -168,10 +185,10 @@ def _run_compact(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
         Metric("compacted_bytes", out_bytes, "B", "exact", 0.0),
         Metric("epochs_compacted", len(epoch_dirs), "epochs", "exact", 0.0),
         Metric("wall_seconds", wall, "s", "wall", WALL_TOLERANCE),
-    ]
+    ], obs.tracer.events(), obs.metrics.snapshot()
 
 
-def _run_obs_overhead(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
+def _run_obs_overhead(spec: WorkloadSpec, scratch: Path) -> _RunnerResult:
     """Prove the disabled-observability path stays zero-cost.
 
     Runs the same ingest twice — once under the shared ``NULL_OBS``
@@ -225,20 +242,28 @@ def _run_obs_overhead(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
                "wall", WALL_TOLERANCE),
         Metric("wall_overhead_ratio", wall_rec / max(wall_null, 1e-9),
                "x", "wall", WALL_TOLERANCE),
-    ]
+    ], obs.tracer.events(), recording_snapshot
 
 
-def _run_serve(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
+def _run_serve(spec: WorkloadSpec, scratch: Path) -> _RunnerResult:
     """The serving plane under concurrent ingest (``carp-serve``).
 
     Exact rows pin the admission/caching behaviour *and* the served
     bytes (an order-independent payload digest); virtual rows gate the
     modeled served-latency distribution, p99 included — the number the
-    SLO rule in ``configs/health_default.json`` watches live.
+    SLO rule in ``configs/health_default.json`` watches live.  The
+    profile is folded from the artifacts the run archived under its
+    scratch directory — the literal files a CI run would upload.
     """
     from repro.perf.serve import run_serve_workload
 
-    report = run_serve_workload(spec, scratch)
+    out_dir = scratch / "obs"
+    report = run_serve_workload(spec, scratch, out_dir=out_dir)
+    events_doc = json.loads((out_dir / "trace.json").read_text())
+    events = events_doc.get("traceEvents")
+    assert isinstance(events, list)
+    snapshot = json.loads((out_dir / "metrics.json").read_text())
+    assert isinstance(snapshot, dict)
     return [
         Metric("serve_latency_p50", report.latency_p50, "s",
                "virtual", VIRTUAL_TOLERANCE),
@@ -263,7 +288,7 @@ def _run_serve(spec: WorkloadSpec, scratch: Path) -> list[Metric]:
                "id", "exact", 0.0),
         Metric("wall_seconds", report.wall_seconds, "s",
                "wall", WALL_TOLERANCE),
-    ]
+    ], events, snapshot
 
 
 _RUNNERS = {
@@ -275,13 +300,34 @@ _RUNNERS = {
 }
 
 
-def run_workload(spec: WorkloadSpec) -> list[Metric]:
-    """Execute one workload in a scratch directory; return its metrics."""
+@dataclass(frozen=True)
+class WorkloadRun:
+    """One workload execution: metric rows + its folded cost profile.
+
+    ``profile_reconcile_errors`` is appended to the metrics as an
+    *exact* row, so an attribution drift (profile totals no longer
+    matching the metrics counters) fails the baseline gate like any
+    other exact-output change.
+    """
+
+    metrics: list[Metric]
+    profile: Profile
+    reconcile_errors: tuple[str, ...]
+
+
+def run_workload(spec: WorkloadSpec) -> WorkloadRun:
+    """Execute one workload in a scratch directory; fold its profile."""
     runner = _RUNNERS.get(spec.kind)
     if runner is None:
         raise ValueError(f"unknown workload kind {spec.kind!r}")
     with TemporaryDirectory(prefix=f"carp-perf-{spec.name}-") as tmp:
-        return runner(spec, Path(tmp))
+        metrics, events, snapshot = runner(spec, Path(tmp))
+    profile = fold(events)
+    errors = profile.reconcile(snapshot)
+    metrics.append(Metric("profile_reconcile_errors", float(len(errors)),
+                          "errors", "exact", 0.0))
+    return WorkloadRun(metrics=metrics, profile=profile,
+                       reconcile_errors=tuple(errors))
 
 
 # --------------------------------------------------------------- baselines
@@ -297,9 +343,27 @@ def baseline_path(name: str) -> Path:
     return baseline_dir() / f"{name}.json"
 
 
-def write_baseline(spec: WorkloadSpec, metrics: list[Metric]) -> Path:
-    """Persist a workload's metrics as its committed baseline."""
+def profile_baseline_dir() -> Path:
+    path = baseline_dir() / "profiles"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def profile_baseline_path(name: str) -> Path:
+    return profile_baseline_dir() / f"{name}.json"
+
+
+def write_baseline(spec: WorkloadSpec, run: WorkloadRun) -> Path:
+    """Persist a workload run as its committed baseline.
+
+    Metrics go through :func:`emit` into
+    ``results/baselines/<name>.json``; the folded profile is committed
+    beside them as ``results/baselines/profiles/<name>.json`` (+ the
+    collapsed-stack ``.folded`` rendering) — the reference that
+    ``carp-perf compare`` diffs against when a gate trips.
+    """
     baseline_dir()  # ensure results/baselines/ exists before emit()
+    metrics = run.metrics
     text = render_table(
         ("metric", "value", "unit", "kind", "tolerance"),
         [(m.name, f"{m.value:.9g}", m.unit, m.kind, m.tolerance)
@@ -312,6 +376,9 @@ def write_baseline(spec: WorkloadSpec, metrics: list[Metric]) -> Path:
         rows=[m.to_row() for m in metrics],
         units={m.name: m.unit for m in metrics},
     )
+    profile_dir = profile_baseline_dir()
+    (profile_dir / f"{spec.name}.json").write_text(run.profile.to_json())
+    (profile_dir / f"{spec.name}.folded").write_text(run.profile.to_folded())
     return baseline_path(spec.name)
 
 
@@ -323,6 +390,16 @@ def load_baseline(name: str) -> dict[str, Any] | None:
     doc = json.loads(path.read_text())
     assert isinstance(doc, dict)
     return doc
+
+
+def load_profile_baseline(name: str) -> Profile | None:
+    """The committed baseline profile for a workload, if present."""
+    path = profile_baseline_path(name)
+    if not path.is_file():
+        return None
+    doc = json.loads(path.read_text())
+    assert isinstance(doc, dict)
+    return Profile.from_doc(doc)
 
 
 # -------------------------------------------------------------- comparing
@@ -373,6 +450,10 @@ class WorkloadComparison:
     workload: str
     baseline_sha: str | None
     metrics: tuple[MetricComparison, ...]
+    #: the fresh run's folded profile — what ``carp-perf compare``
+    #: diffs against the committed baseline profile when this
+    #: comparison blocks, to name the regressed span paths
+    current_profile: Profile | None = None
 
     @property
     def blocking(self) -> bool:
@@ -418,7 +499,8 @@ def compare_workload(
     spec: WorkloadSpec, baseline: dict[str, Any]
 ) -> WorkloadComparison:
     """Re-run one workload and diff it against its baseline document."""
-    fresh = {m.name: m for m in run_workload(spec)}
+    run = run_workload(spec)
+    fresh = {m.name: m for m in run.metrics}
     rows = baseline.get("rows", [])
     assert isinstance(rows, list)
     comparisons = [
@@ -437,4 +519,5 @@ def compare_workload(
         workload=spec.name,
         baseline_sha=str(sha) if isinstance(sha, str) else None,
         metrics=tuple(comparisons),
+        current_profile=run.profile,
     )

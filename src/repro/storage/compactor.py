@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.records import RecordBatch
 from repro.exec.api import Executor
 from repro.exec.factory import resolve_executor
+from repro.obs import NULL_OBS, RECORD_TICK, Obs
 from repro.storage.log import LogReader, LogWriter, list_logs, log_name
 
 
@@ -93,11 +94,24 @@ def compact_epoch(
     return epoch_dir
 
 
+def _epoch_output_stats(epoch_dir: Path) -> tuple[int, int]:
+    """(records, bytes) of one compacted epoch, from its manifests."""
+    records = 0
+    nbytes = 0
+    for path in list_logs(epoch_dir):
+        with LogReader(path) as reader:
+            for entry in reader.entries:
+                records += entry.count
+                nbytes += entry.length
+    return records, nbytes
+
+
 def compact_all_epochs(
     in_dir: Path | str,
     out_dir: Path | str,
     sst_records: int = 4096,
     executor: Executor | None = None,
+    obs: Obs = NULL_OBS,
 ) -> list[Path]:
     """Compact every epoch present in the input logs.
 
@@ -106,6 +120,13 @@ def compact_all_epochs(
     file).  Returns the per-epoch output directories, sorted by epoch —
     the directory structure matches the paper artifact's
     ``particle.sorted/<epoch>/`` layout.
+
+    Under a recording ``obs`` the driver emits one modeled ``compact``
+    span per epoch (``records * RECORD_TICK`` virtual ticks) and
+    increments ``compact.records`` / ``compact.bytes_written``, both
+    computed from the *output* manifests after the work completes — so
+    the recording is bit-identical whether the epochs compacted
+    serially or fanned out across workers.
     """
     logs = list_logs(in_dir)
     if not logs:
@@ -124,14 +145,29 @@ def compact_all_epochs(
                 [(str(in_dir), str(out_dir), epoch, sst_records)
                  for epoch in sorted(epochs)],
             )
-            return [Path(d) for d in done]
-        return [
-            compact_epoch(in_dir, out_dir, epoch, sst_records)
-            for epoch in sorted(epochs)
-        ]
+            dirs = [Path(d) for d in done]
+        else:
+            dirs = [
+                compact_epoch(in_dir, out_dir, epoch, sst_records)
+                for epoch in sorted(epochs)
+            ]
     finally:
         if owned:
             exec_.close()
+    if obs.enabled:
+        track = obs.track("compact", "driver")
+        m_records = obs.metrics.counter("compact.records")
+        m_bytes = obs.metrics.counter("compact.bytes_written")
+        for epoch, directory in zip(sorted(epochs), dirs):
+            records, nbytes = _epoch_output_stats(directory)
+            with obs.span(
+                track, "compact", dur=records * RECORD_TICK,
+                args={"epoch": epoch, "records": records, "bytes": nbytes},
+            ):
+                pass
+            m_records.add(records)
+            m_bytes.add(nbytes)
+    return dirs
 
 
 def sorted_sst_boundaries(epoch_dir: Path | str) -> np.ndarray:

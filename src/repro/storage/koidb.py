@@ -275,8 +275,13 @@ class KoiDB:
             self._tr_flush, "flush-stray" if stray else "flush",
             dur=len(batch) * RECORD_TICK,
             args={"records": len(batch), "stray": stray},
-        ):
+        ) as span:
+            bytes_before = self.stats.bytes_written
             self._flush_impl(batch, stray)
+            # the E event carries the exact bytes this flush appended,
+            # so carp-profile can join frame bytes against the
+            # koidb.bytes_written counter with zero drift
+            span.annotate({"bytes": self.stats.bytes_written - bytes_before})
 
     def _flush_impl(self, batch: RecordBatch, stray: bool) -> None:
         assert self._epoch is not None

@@ -176,14 +176,36 @@ def _report_mode(args: argparse.Namespace) -> int:
         print(f"Spans for request {args.request}")
         print(request_tree_table(events, args.request))
         return 0
-    try:
-        snapshot = json.loads(metrics_path.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"error: cannot read {metrics_path}: {exc}", file=sys.stderr)
-        return 2
+    # a trace-only directory still renders a partial report: the
+    # metrics sections degrade to empty (with a note), they don't
+    # abort — archived artifacts get pruned and the span timeline is
+    # useful on its own
+    raw_snapshot: dict[str, object] = {}
+    missing_metrics: str | None = None
+    if metrics_path.is_file():
+        try:
+            raw_snapshot = json.loads(metrics_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raw_snapshot = {}
+            missing_metrics = f"cannot read {metrics_path}: {exc}"
+    else:
+        missing_metrics = f"{metrics_path} missing"
     # older recordings may predate histogram (or even gauge) sections;
     # degrade to what the snapshot has and say so, never crash
-    snapshot, annotations = normalize_snapshot(snapshot)
+    snapshot, annotations = normalize_snapshot(raw_snapshot)
+    if missing_metrics is not None:
+        print(f"warning: {missing_metrics}; metrics sections are empty",
+              file=sys.stderr)
+        # the per-section "legacy snapshot" notes are noise when the
+        # whole file is absent — one partial-report note says it all
+        annotations = [f"{missing_metrics}; report is partial"]
+    telemetry_path = directory / "telemetry.jsonl"
+    if not telemetry_path.is_file():
+        telemetry_path = directory / "db" / "telemetry.jsonl"
+    if not telemetry_path.is_file():
+        annotations.append(
+            "telemetry.jsonl missing; carp-health has nothing to gate on"
+        )
     run_doc: dict[str, object] = {}
     if run_path.exists():
         try:

@@ -216,6 +216,77 @@ def test_o504_applies_inside_obs_package_only():
     assert not rule.applies(core_ctx)
 
 
+def test_bad_profile_fixture_triggers_o505(fixtures_dir):
+    result = lint_paths(
+        [fixtures_dir / "bad_profile.py"], rules=select_rules(["O"])
+    )
+    by_rule = result.by_rule()
+    # import repro.obs.tracer, from repro.obs import Obs, `obs` param,
+    # Obs.recording(), Obs-annotated param
+    assert len(by_rule.get("O505", [])) == 5
+    # everything else in the fixture is either clean or suppressed
+    assert set(by_rule) == {"O505"}
+
+
+def test_good_profile_fixture_is_o505_clean(fixtures_dir):
+    result = lint_paths(
+        [fixtures_dir / "good_profile.py"], rules=select_rules(["O"])
+    )
+    assert result.violations == []
+
+
+def test_o505_flags_live_stack_import():
+    src = "from repro.obs import Obs\n"
+    violations = _check("O505", src, path="profile_snippet.py")
+    assert len(violations) == 1
+    assert "live observability stack" in violations[0].message
+
+
+def test_o505_allows_profile_submodule_import():
+    src = "from repro.obs.profile import fold\n"
+    assert _check("O505", src, path="profile_snippet.py") == []
+
+
+def test_o505_flags_obs_parameter_and_annotation():
+    src = (
+        "def fold(obs, events):\n"
+        "    return events\n"
+        "def join(events, source: 'Obs'):\n"
+        "    return events\n"
+    )
+    violations = _check("O505", src, path="profile_snippet.py")
+    assert len(violations) == 2
+
+
+def test_o505_flags_null_obs_borrowing():
+    # even the null stack is a run handle, not an artifact
+    src = (
+        "from repro.obs import Obs\n"
+        "def fold(events):\n"
+        "    return Obs.null()\n"
+    )
+    violations = _check("O505", src, path="profile_snippet.py")
+    # the import and the factory call are each one finding
+    assert len(violations) == 2
+
+
+def test_o505_keys_fixtures_on_profile_stem():
+    # the contract is profile-specific: other fixture files (e.g.
+    # bad_telemetry.py) must not start tripping it
+    src = "from repro.obs import Obs\n"
+    rule = _rule("O505")
+    assert rule.applies(FileContext.from_source(src, Path("my_profile.py")))
+    assert not rule.applies(
+        FileContext.from_source(src, Path("bad_telemetry.py"))
+    )
+    assert rule.applies(
+        FileContext.from_source(src, Path("src/repro/obs/profile.py"))
+    )
+    assert not rule.applies(
+        FileContext.from_source(src, Path("src/repro/obs/report.py"))
+    )
+
+
 def test_repo_is_o_clean(repo_src):
     result = lint_paths([repo_src], rules=select_rules(["O"]))
     assert result.violations == []

@@ -18,6 +18,7 @@ from repro.perf.harness import (
     Metric,
     _compare_metric,
     baseline_path,
+    profile_baseline_path,
     run_workload,
 )
 from repro.perf.workloads import WORKLOADS
@@ -45,8 +46,8 @@ def _tamper(name: str, metric: str, scale: float = 1.0,
 class TestRunWorkload:
     def test_virtual_and_exact_metrics_deterministic(self):
         spec = WORKLOADS["ingest-serial"]
-        first = {m.name: m for m in run_workload(spec)}
-        second = {m.name: m for m in run_workload(spec)}
+        first = {m.name: m for m in run_workload(spec).metrics}
+        second = {m.name: m for m in run_workload(spec).metrics}
         for name, metric in first.items():
             if metric.kind == "wall":
                 continue
@@ -145,3 +146,71 @@ class TestCli:
     def test_missing_baseline_fails(self, results_dir, capsys):
         assert perf_main(["compare", "ingest-serial"]) == 1
         assert "no baseline" in capsys.readouterr().err
+
+
+class TestProfileIntegration:
+    def test_run_commits_profile_baseline(self, results_dir, capsys):
+        assert perf_main(["run", "ingest-serial"]) == 0
+        path = profile_baseline_path("ingest-serial")
+        assert path.is_file()
+        assert path.with_suffix(".folded").is_file()
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "carp-profile-v1"
+        assert doc["totals"]["records"] > 0
+        # the run reconciled exactly, and the gate metric records that
+        baseline = json.loads(baseline_path("ingest-serial").read_text())
+        reconcile = next(
+            r for r in baseline["rows"]
+            if r["metric"] == "profile_reconcile_errors"
+        )
+        assert reconcile["value"] == 0.0 and reconcile["kind"] == "exact"
+
+    def test_profile_subcommand_writes_fresh_profiles(self, results_dir,
+                                                      capsys):
+        out = results_dir / "fresh"
+        assert perf_main(["profile", "ingest-serial",
+                          "--out", str(out)]) == 0
+        assert (out / "ingest-serial.json").is_file()
+        assert (out / "ingest-serial.folded").is_file()
+
+    def test_gate_failure_blames_injected_hot_span(self, results_dir,
+                                                   capsys):
+        """A tripped gate names the diff artifact and the hot path.
+
+        Tampering the committed baseline profile at its hottest frame
+        simulates a regression localized to one span path; the compare
+        failure output must name the diff-profile artifact and put
+        that path first in the inline blame lines.
+        """
+        assert perf_main(["run", "ingest-serial"]) == 0
+        _tamper("ingest-serial", "ingest_virtual_ticks", scale=0.9)
+        path = profile_baseline_path("ingest-serial")
+        doc = json.loads(path.read_text())
+        hot = max(doc["frames"], key=lambda f: f["self_ns"])
+        hot["self_ns"] -= 500_000_000
+        hot["total_ns"] -= 500_000_000
+        path.write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert perf_main(["compare", "ingest-serial"]) == 1
+        err = capsys.readouterr().err
+        diff_path = (results_dir / "profile-diffs"
+                     / "ingest-serial.profile-diff.json")
+        assert f"diff profile: {diff_path}" in err
+        blame = [line for line in err.splitlines()
+                 if "regressed span path" in line]
+        assert blame and ";".join(hot["stack"]) in blame[0]
+        assert "+500000000 ns self" in blame[0]
+        diff_doc = json.loads(diff_path.read_text())
+        assert diff_doc["schema"] == "carp-profile-diff-v1"
+        assert diff_doc["entries"][0]["stack"] == hot["stack"]
+        assert diff_doc["entries"][0]["self_delta_ns"] == 500_000_000
+
+    def test_gate_failure_without_profile_baseline_notes_it(
+            self, results_dir, capsys):
+        assert perf_main(["run", "ingest-serial"]) == 0
+        _tamper("ingest-serial", "ingest_virtual_ticks", scale=0.9)
+        profile_baseline_path("ingest-serial").unlink()
+        capsys.readouterr()
+        assert perf_main(["compare", "ingest-serial"]) == 1
+        err = capsys.readouterr().err
+        assert "no baseline profile" in err

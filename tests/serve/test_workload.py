@@ -14,8 +14,8 @@ from repro.tools.serve_cli import main as serve_main
 class TestServeWorkload:
     def test_non_wall_metrics_deterministic(self):
         spec = WORKLOADS["serve-mixed"]
-        first = {m.name: m for m in run_workload(spec)}
-        second = {m.name: m for m in run_workload(spec)}
+        first = {m.name: m for m in run_workload(spec).metrics}
+        second = {m.name: m for m in run_workload(spec).metrics}
         for name, metric in first.items():
             if metric.kind == "wall":
                 continue

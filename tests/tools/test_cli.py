@@ -292,6 +292,28 @@ class TestTraceCli:
         assert rc == 0
         assert "note: legacy snapshot: no 'histograms' section" in out
 
+    def test_report_mode_degrades_on_trace_only_directory(self, tmp_path,
+                                                          capsys):
+        """Pruned archives keep their span timeline readable.
+
+        A directory holding only ``trace.json`` (metrics and telemetry
+        pruned) must render a partial report with a warning — not
+        exit 2 — because the span timeline is useful on its own.
+        """
+        from repro.tools.trace_cli import main as trace_main
+
+        out_dir = self._recorded(tmp_path, capsys)
+        (out_dir / "metrics.json").unlink()
+        (out_dir / "db" / "telemetry.jsonl").unlink()
+        rc = trace_main(["--report", str(out_dir)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "warning:" in captured.err
+        assert "metrics.json" in captured.err
+        assert "CARP run" in captured.out  # the report still renders
+        assert "report is partial" in captured.out
+        assert "telemetry.jsonl missing" in captured.out
+
     def test_report_mode_missing_artifacts_exit_two(self, tmp_path, capsys):
         from repro.tools.trace_cli import main as trace_main
 

@@ -1,0 +1,189 @@
+"""carp-profile: record/diff over archived artifacts, byte-stable.
+
+The CLI never runs a workload — everything here operates on artifact
+directories built by hand (exact, fast) plus one real ``carp-trace``
+recording for the end-to-end exact-reconciliation path.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.tools.profile_cli import main as profile_main
+
+
+def _events(extra_flush_child: bool = False) -> list[dict]:
+    events = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "flush"}},
+        {"name": "flush", "ph": "B", "ts": 0.0, "pid": 1, "tid": 1,
+         "args": {"records": 10}},
+    ]
+    if extra_flush_child:
+        events += [
+            {"name": "checksum", "ph": "B", "ts": 0.2, "pid": 1, "tid": 1,
+             "args": {}},
+            {"ph": "E", "ts": 0.9, "pid": 1, "tid": 1, "args": {}},
+        ]
+    # the hot-span variant ends later by exactly the injected child's
+    # duration, so the parent's *self* time is unchanged and the diff
+    # blames the checksum frame alone
+    end_ts = 2.2 if extra_flush_child else 1.5
+    events.append(
+        {"ph": "E", "ts": end_ts, "pid": 1, "tid": 1, "args": {"bytes": 100}}
+    )
+    return events
+
+
+def _write_artifacts(directory, *, records=10, bytes_written=100,
+                     hot_span=False, metrics=True):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "trace.json").write_text(
+        json.dumps({"traceEvents": _events(hot_span)})
+    )
+    if metrics:
+        (directory / "metrics.json").write_text(json.dumps({
+            "counters": {
+                "koidb.records_in": records,
+                "koidb.bytes_written": bytes_written,
+            },
+        }))
+    return directory
+
+
+class TestRecord:
+    def test_writes_profile_and_reconciles_exactly(self, tmp_path, capsys):
+        d = _write_artifacts(tmp_path / "run")
+        assert profile_main(["record", str(d)]) == 0
+        out = capsys.readouterr().out
+        assert "profile totals match metrics counters exactly" in out
+        assert (d / "profile.json").is_file()
+        assert (d / "profile.folded").is_file()
+        doc = json.loads((d / "profile.json").read_text())
+        assert doc["schema"] == "carp-profile-v1"
+        assert doc["totals"]["records"] == 10
+
+    def test_repeat_invocations_are_byte_identical(self, tmp_path, capsys):
+        d = _write_artifacts(tmp_path / "run")
+        assert profile_main(["record", str(d)]) == 0
+        first = ((d / "profile.json").read_bytes(),
+                 (d / "profile.folded").read_bytes())
+        assert profile_main(["record", str(d)]) == 0
+        second = ((d / "profile.json").read_bytes(),
+                  (d / "profile.folded").read_bytes())
+        assert second == first
+
+    def test_metric_drift_exits_nonzero(self, tmp_path, capsys):
+        d = _write_artifacts(tmp_path / "run", bytes_written=101)
+        assert profile_main(["record", str(d)]) == 1
+        err = capsys.readouterr().err
+        assert "reconcile" in err and "koidb.bytes_written" in err
+        # the profile is still written — it is the evidence
+        assert (d / "profile.json").is_file()
+
+    def test_missing_metrics_degrades_to_warning(self, tmp_path, capsys):
+        d = _write_artifacts(tmp_path / "run", metrics=False)
+        assert profile_main(["record", str(d)]) == 0
+        captured = capsys.readouterr()
+        assert "reconciliation skipped" in captured.err
+        assert "profile totals match" not in captured.out
+        assert (d / "profile.json").is_file()
+
+    def test_missing_trace_exits_two(self, tmp_path, capsys):
+        assert profile_main(["record", str(tmp_path / "nope")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_output_redirect(self, tmp_path, capsys):
+        d = _write_artifacts(tmp_path / "run")
+        out = tmp_path / "elsewhere"
+        assert profile_main(["record", str(d), "-o", str(out)]) == 0
+        assert (out / "profile.json").is_file()
+        assert not (d / "profile.json").exists()
+
+
+class TestDiff:
+    def test_identical_profiles(self, tmp_path, capsys):
+        a = _write_artifacts(tmp_path / "a")
+        b = _write_artifacts(tmp_path / "b")
+        for d in (a, b):
+            profile_main(["record", str(d)])
+        capsys.readouterr()
+        assert profile_main(["diff", str(a), str(b)]) == 0
+        assert "profiles are identical" in capsys.readouterr().out
+
+    def test_regression_blames_injected_hot_span(self, tmp_path, capsys):
+        a = _write_artifacts(tmp_path / "a")
+        b = _write_artifacts(tmp_path / "b", hot_span=True)
+        for d in (a, b):
+            profile_main(["record", str(d)])
+        capsys.readouterr()
+        json_out = tmp_path / "diff.json"
+        rc = profile_main(["diff", str(a), str(b), "--json", str(json_out)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flush;flush;checksum" in out
+        doc = json.loads(json_out.read_text())
+        assert doc["schema"] == "carp-profile-diff-v1"
+        # entries are sorted by contribution: the injected 0.7-tick
+        # span is the top blame
+        assert doc["entries"][0]["stack"] == ["flush", "flush", "checksum"]
+        assert doc["entries"][0]["self_delta_ns"] == 700_000_000
+
+    def test_diff_document_is_byte_stable(self, tmp_path, capsys):
+        a = _write_artifacts(tmp_path / "a")
+        b = _write_artifacts(tmp_path / "b", hot_span=True)
+        json_out = tmp_path / "diff.json"
+        renders = []
+        for _ in range(2):
+            assert profile_main(
+                ["diff", str(a), str(b), "--json", str(json_out)]
+            ) == 0
+            renders.append(json_out.read_bytes())
+        capsys.readouterr()
+        assert renders[0] == renders[1]
+
+    def test_folds_trace_on_the_fly_with_note(self, tmp_path, capsys):
+        a = _write_artifacts(tmp_path / "a")  # no committed profile.json
+        b = _write_artifacts(tmp_path / "b")
+        assert profile_main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "folded" in out and "on the fly" in out
+
+    def test_accepts_profile_json_files(self, tmp_path, capsys):
+        a = _write_artifacts(tmp_path / "a")
+        profile_main(["record", str(a)])
+        capsys.readouterr()
+        rc = profile_main([
+            "diff", str(a / "profile.json"), str(a / "profile.json"),
+        ])
+        assert rc == 0
+        assert "profiles are identical" in capsys.readouterr().out
+
+    def test_unreadable_source_exits_two(self, tmp_path, capsys):
+        a = _write_artifacts(tmp_path / "a")
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert profile_main(["diff", str(a), str(empty)]) == 2
+        assert "neither profile.json nor trace.json" in (
+            capsys.readouterr().err
+        )
+
+
+class TestEndToEnd:
+    def test_carp_trace_recording_reconciles_exactly(self, tmp_path,
+                                                     capsys):
+        from repro.tools.trace_cli import main as trace_main
+
+        obs_dir = tmp_path / "obs"
+        assert trace_main([
+            "-o", str(obs_dir), "--ranks", "4", "--epochs", "2",
+            "--records", "300",
+        ]) == 0
+        capsys.readouterr()
+        assert profile_main(["record", str(obs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "profile totals match metrics counters exactly" in out
+        folded = (obs_dir / "profile.folded").read_text()
+        # real phases show up in the collapsed stacks
+        assert any(line.startswith("flush;") for line in folded.splitlines())
+        assert any(line.startswith("route;") for line in folded.splitlines())

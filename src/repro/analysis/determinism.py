@@ -39,6 +39,7 @@ DETERMINISM_SCOPE = (
     "repro.storage",
     "repro.obs",
     "repro.exec",
+    "repro.kernels",
 )
 
 #: Fully qualified callables that read the wall clock.

@@ -21,6 +21,7 @@ TYPING_SCOPE = (
     "repro.obs",
     "repro.exec",
     "repro.api",
+    "repro.kernels",
 )
 
 #: Dunders whose signatures are fixed by the data model anyway.

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels import active_kernels
+
 #: Destination value returned by :meth:`PartitionTable.lookup` for
 #: out-of-bounds keys.
 OOB_DEST = -1
@@ -82,19 +84,13 @@ class PartitionTable:
         return float(self.bounds[-1])
 
     def lookup(self, keys: np.ndarray) -> np.ndarray:
-        """Vectorized destination lookup.
+        """Destination lookup through the active kernel backend.
 
         Returns an int64 array of partition ids; out-of-bounds keys map
         to :data:`OOB_DEST`.  A key exactly equal to the upper bound is
         owned by the last partition.
         """
-        keys = np.asarray(keys, dtype=np.float64)
-        dest = np.searchsorted(self.bounds, keys, side="right") - 1
-        # key == hi lands at index nparts; fold into the last partition.
-        dest = np.where(keys == self.bounds[-1], self.nparts - 1, dest)
-        oob = (keys < self.bounds[0]) | (keys > self.bounds[-1])
-        dest = np.where(oob, OOB_DEST, dest)
-        return dest.astype(np.int64)
+        return active_kernels().route(self.bounds, np.asarray(keys))
 
     def owns(self, part: int) -> tuple[float, float]:
         """The half-open key range ``[lo, hi)`` owned by ``part``.
@@ -109,10 +105,10 @@ class PartitionTable:
     def contains(self, part: int, keys: np.ndarray) -> np.ndarray:
         """Boolean mask of ``keys`` owned by partition ``part``."""
         lo, hi = self.owns(part)
-        keys = np.asarray(keys, dtype=np.float64)
-        if part == self.nparts - 1:
-            return (keys >= lo) & (keys <= hi)
-        return (keys >= lo) & (keys < hi)
+        inclusive_hi = part == self.nparts - 1
+        return active_kernels().interval_mask(
+            np.asarray(keys), lo, hi, inclusive_hi
+        )
 
     def load_counts(self, keys: np.ndarray) -> np.ndarray:
         """Histogram of ``keys`` over the partitions (OOB keys ignored)."""

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels import active_kernels
+
 KEY_DTYPE = np.dtype("<f4")
 RID_DTYPE = np.dtype("<u8")
 
@@ -41,9 +43,11 @@ def range_mask(keys: np.ndarray, lo: float, hi: float) -> np.ndarray:
     in float32 (NumPy's weak scalar promotion), which disagrees at the
     boundaries with the float64 comparisons used for manifest-range
     pruning — an SST could be pruned while its keys would have matched.
+
+    Dispatches through the active kernel backend (``CARP_KERNELS``);
+    both backends honour the float64 contract above.
     """
-    keys = np.asarray(keys, dtype=np.float64)
-    return (keys >= lo) & (keys <= hi)
+    return active_kernels().range_mask(np.asarray(keys), lo, hi)
 
 
 def make_rids(rank: int, start_seq: int, count: int) -> np.ndarray:

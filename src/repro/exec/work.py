@@ -33,6 +33,7 @@ from repro.obs import NULL_OBS, Obs, SpanRecord, snapshot_delta
 from repro.storage.koidb import KoiDB, KoiDBStats
 from repro.storage.log import LogReader
 from repro.storage.manifest import ManifestEntry
+from repro.storage.recovery import CommittedState
 
 # ----------------------------------------------------------------- ingest
 
@@ -177,12 +178,23 @@ class LogProbeResult:
                 + sum(len(k) for k in self.key_runs))
 
 
-def _cached_reader(state: dict[str, Any], path: str, recover: bool) -> LogReader:
-    readers: dict[tuple[str, bool], LogReader] = state.setdefault("readers", {})
-    key = (path, recover)
+def _cached_reader(
+    state: dict[str, Any],
+    path: str,
+    recover: bool,
+    pin: CommittedState | None,
+) -> LogReader:
+    # pinned readers are keyed by their commit point: two snapshots of
+    # the same growing log pin different footers and must not share a
+    # reader (the older one must never see the newer entries)
+    pin_key = None if pin is None else (pin.footer_end, pin.manifest_offset)
+    readers: dict[tuple[str, bool, tuple[int, int] | None], LogReader] = (
+        state.setdefault("readers", {})
+    )
+    key = (path, recover, pin_key)
     reader = readers.get(key)
     if reader is None:
-        reader = LogReader(Path(path), recover=recover)
+        reader = LogReader(Path(path), recover=recover, pin=pin)
         readers[key] = reader
     return reader
 
@@ -243,13 +255,19 @@ def probe_log(
     lo: float,
     hi: float,
     keys_only: bool,
+    pin: CommittedState | None = None,
 ) -> LogProbeResult:
     """Worker task wrapping :func:`probe_entries` for one log.
 
-    Log readers are cached in shard state keyed by ``(path, recover)``.
+    ``pin`` carries a snapshot's validated commit point into the
+    worker: the reader opens directly at it — no footer parse, no
+    backward ``find_committed_state`` scan over bytes a concurrent
+    writer may be appending — and maps the log for zero-copy entry
+    reads.  Log readers are cached in shard state keyed by
+    ``(path, recover, commit point)``.
     """
     return probe_entries(
-        _cached_reader(state, path, recover), entries, lo, hi, keys_only
+        _cached_reader(state, path, recover, pin), entries, lo, hi, keys_only
     )
 
 

@@ -136,6 +136,7 @@ class PartitionedStore:
         self._paths = paths
         # open all logs, closing the ones already open if a later one
         # fails to parse — a half-built store leaks no handles
+        self._pins = pins
         self._readers = []
         try:
             for p, pin in zip(paths, pins):
@@ -321,14 +322,16 @@ class PartitionedStore:
                 for idx, entries in by_reader.items()
             ]
         # workers re-open logs by path and read only the entry offsets
-        # they were handed; a pinned store passes recover=True so the
-        # worker-side open tolerates the torn tail a concurrently
-        # appending writer may be mid-way through
-        recover = self._recover or self.snapshot is not None
+        # they were handed; a pinned store ships each log's validated
+        # commit point along, so the worker-side open lands directly at
+        # the pin — it never parses the footer or scans for one, and
+        # the torn tail a concurrently appending writer may be mid-way
+        # through is never consulted
         for reader_idx, log_entries in by_reader.items():
             self._executor.submit(
                 reader_idx, probe_log, str(self._paths[reader_idx]),
-                recover, log_entries, lo, hi, keys_only,
+                self._recover, log_entries, lo, hi, keys_only,
+                self._pins[reader_idx],
             )
         probes: list[tuple[int, LogProbeResult]] = []
         for reader_idx, probe in zip(by_reader, self._executor.drain()):

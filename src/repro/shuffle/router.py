@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.core.partition import OOB_DEST, PartitionTable
 from repro.core.records import RecordBatch
+from repro.kernels import active_kernels
 
 
 def range_route(batch: RecordBatch, table: PartitionTable) -> np.ndarray:
@@ -44,21 +45,20 @@ def split_by_destination(
     Returns ``(per_dest, oob)`` where ``per_dest`` maps each in-bounds
     destination to its sub-batch and ``oob`` holds the records whose
     destination was :data:`OOB_DEST`.
+
+    Grouping goes through the active kernel backend; both backends
+    emit groups in ascending destination order with original batch
+    order inside each group, which fixes the shuffle send order (and
+    therefore the on-disk log bytes) independent of ``CARP_KERNELS``.
     """
     dests = np.asarray(dests)
     if len(dests) != len(batch):
         raise ValueError("dests length must match batch length")
-    oob_mask = dests == OOB_DEST
-    oob = batch.select(oob_mask) if oob_mask.any() else RecordBatch.empty(batch.value_size)
+    oob = RecordBatch.empty(batch.value_size)
     per_dest: dict[int, RecordBatch] = {}
-    in_bounds = ~oob_mask
-    if in_bounds.any():
-        ib_dests = dests[in_bounds]
-        ib_batch = batch.select(in_bounds)
-        order = np.argsort(ib_dests, kind="stable")
-        sorted_dests = ib_dests[order]
-        uniq, starts = np.unique(sorted_dests, return_index=True)
-        boundaries = np.append(starts, len(sorted_dests))
-        for d, lo, hi in zip(uniq, boundaries[:-1], boundaries[1:]):
-            per_dest[int(d)] = ib_batch.select(order[lo:hi])
+    for dest, indices in active_kernels().group_runs(dests):
+        if dest == OOB_DEST:
+            oob = batch.select(indices)
+        else:
+            per_dest[dest] = batch.select(indices)
     return per_dest, oob

@@ -10,6 +10,14 @@ Values are deterministic functions of the record id: the rid itself
 This keeps batches cheap in memory while producing real, verifiable
 bytes on disk of the paper's record geometry (4-byte key + 56-byte
 payload).
+
+The payload transforms (keys↔bytes, rids↔bytes, filler verification)
+dispatch through the active kernel backend (``CARP_KERNELS``); the CRC
+frame and the structural checks stay here so both backends produce and
+accept exactly the same on-disk bytes.  Decoders accept any buffer —
+``bytes`` from a file read or a zero-copy ``memoryview`` slice of an
+mmap-backed log — and always return arrays detached from the input
+buffer.
 """
 
 from __future__ import annotations
@@ -19,23 +27,39 @@ import zlib
 import numpy as np
 
 from repro.core.records import KEY_DTYPE, RID_DTYPE
+from repro.kernels import active_kernels
+from repro.kernels.vector import make_filler
+
+__all__ = [
+    "CRC_BYTES",
+    "BlockCorruptionError",
+    "key_block_size",
+    "value_block_size",
+    "encode_key_block",
+    "decode_key_block",
+    "make_filler",
+    "encode_value_block",
+    "decode_value_block",
+]
 
 CRC_BYTES = 4
+
+_Buffer = bytes | bytearray | memoryview
 
 
 class BlockCorruptionError(Exception):
     """A block failed its CRC or structural checks."""
 
 
-def _crc(payload: bytes) -> bytes:
+def _crc(payload: _Buffer) -> bytes:
     return (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(CRC_BYTES, "little")
 
 
-def _check_crc(data: bytes, what: str) -> bytes:
+def _check_crc(data: _Buffer, what: str) -> _Buffer:
     if len(data) < CRC_BYTES:
         raise BlockCorruptionError(f"{what}: too short to hold a CRC")
     payload, crc = data[:-CRC_BYTES], data[-CRC_BYTES:]
-    if _crc(payload) != crc:
+    if _crc(payload) != bytes(crc):
         raise BlockCorruptionError(f"{what}: CRC mismatch")
     return payload
 
@@ -52,61 +76,37 @@ def value_block_size(count: int, value_size: int) -> int:
 
 def encode_key_block(keys: np.ndarray) -> bytes:
     """Serialize keys as a little-endian float32 array + CRC."""
-    payload = np.ascontiguousarray(keys, dtype=KEY_DTYPE).tobytes()
+    payload = active_kernels().encode_keys(np.asarray(keys))
     return payload + _crc(payload)
 
 
-def decode_key_block(data: bytes) -> np.ndarray:
+def decode_key_block(data: _Buffer) -> np.ndarray:
     """Parse and CRC-verify a key block."""
     payload = _check_crc(data, "key block")
     if len(payload) % KEY_DTYPE.itemsize:
         raise BlockCorruptionError("key block payload not a multiple of key size")
-    return np.frombuffer(payload, dtype=KEY_DTYPE).copy()
-
-
-def make_filler(rids: np.ndarray, filler_size: int) -> np.ndarray:
-    """Deterministic per-record filler bytes, shape ``(n, filler_size)``.
-
-    Byte ``j`` of record ``i`` is ``(rid_i + j) mod 256`` — cheap to
-    generate vectorized, and verifiable on read.
-    """
-    rids = np.asarray(rids, dtype=np.uint64)
-    if filler_size == 0:
-        return np.empty((len(rids), 0), dtype=np.uint8)
-    base = (rids & np.uint64(0xFF)).astype(np.uint8)
-    offs = np.arange(filler_size, dtype=np.uint8)
-    return base[:, None] + offs[None, :]
+    return active_kernels().decode_keys(payload)
 
 
 def encode_value_block(rids: np.ndarray, value_size: int) -> bytes:
     """Serialize values: per record, rid (8 B LE) + filler + block CRC."""
-    rids = np.ascontiguousarray(rids, dtype=RID_DTYPE)
-    filler_size = value_size - RID_DTYPE.itemsize
-    if filler_size < 0:
+    if value_size - RID_DTYPE.itemsize < 0:
         raise ValueError(f"value_size {value_size} smaller than a rid")
-    n = len(rids)
-    out = np.empty((n, value_size), dtype=np.uint8)
-    out[:, : RID_DTYPE.itemsize] = rids.view(np.uint8).reshape(n, RID_DTYPE.itemsize)
-    if filler_size:
-        out[:, RID_DTYPE.itemsize :] = make_filler(rids, filler_size)
-    payload = out.tobytes()
+    payload = active_kernels().encode_values(
+        np.ascontiguousarray(rids, dtype=RID_DTYPE), value_size
+    )
     return payload + _crc(payload)
 
 
 def decode_value_block(
-    data: bytes, value_size: int, verify_filler: bool = False
+    data: _Buffer, value_size: int, verify_filler: bool = False
 ) -> np.ndarray:
     """Parse and CRC-verify a value block; return the rid array."""
     payload = _check_crc(data, "value block")
     if value_size <= 0 or len(payload) % value_size:
         raise BlockCorruptionError("value block payload not a multiple of value size")
-    n = len(payload) // value_size
-    raw = np.frombuffer(payload, dtype=np.uint8).reshape(n, value_size)
-    rids = raw[:, : RID_DTYPE.itemsize].copy().view(RID_DTYPE).reshape(n)
-    if verify_filler:
-        filler_size = value_size - RID_DTYPE.itemsize
-        if filler_size and not np.array_equal(
-            raw[:, RID_DTYPE.itemsize :], make_filler(rids, filler_size)
-        ):
-            raise BlockCorruptionError("value block filler mismatch")
+    kernels = active_kernels()
+    rids = kernels.decode_values(payload, value_size)
+    if verify_filler and not kernels.filler_matches(payload, rids, value_size):
+        raise BlockCorruptionError("value block filler mismatch")
     return rids

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.config import CarpOptions
 from repro.core.records import RecordBatch
+from repro.kernels import active_kernels
 from repro.faults.plan import FaultInjector, FaultSpec
 from repro.obs import NULL_OBS, RECORD_TICK, Obs
 from repro.storage.log import LogWriter, log_name
@@ -205,11 +206,9 @@ class KoiDB:
             # before the first table of the epoch nothing is stray
             return np.zeros(len(keys), dtype=bool)
         lo, hi = self._owned
-        keys = np.asarray(keys, dtype=np.float64)
-        if self._owned_inclusive_hi:
-            inside = (keys >= lo) & (keys <= hi)
-        else:
-            inside = (keys >= lo) & (keys < hi)
+        inside = active_kernels().interval_mask(
+            np.asarray(keys), lo, hi, self._owned_inclusive_hi
+        )
         return ~inside
 
     # ------------------------------------------------------------- ingest

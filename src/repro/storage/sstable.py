@@ -25,6 +25,8 @@ from repro.storage.blocks import (
     key_block_size,
 )
 
+_Buffer = bytes | bytearray | memoryview
+
 SST_MAGIC = b"KSST"
 SST_FORMAT_VERSION = 1
 
@@ -116,8 +118,12 @@ def build_sstable(
     return header + kb + vb, info
 
 
-def parse_header(data: bytes) -> SSTableInfo:
-    """Parse and CRC-verify an SSTable header."""
+def parse_header(data: _Buffer) -> SSTableInfo:
+    """Parse and CRC-verify an SSTable header.
+
+    Accepts any buffer — including a zero-copy ``memoryview`` slice of
+    an mmap-backed log reader; nothing retains the input.
+    """
     if len(data) < HEADER_SIZE:
         raise BlockCorruptionError("truncated SSTable header")
     fields = struct.unpack(_HEADER_FMT, data[:HEADER_SIZE])
@@ -134,8 +140,13 @@ def parse_header(data: bytes) -> SSTableInfo:
                        value_size)
 
 
-def parse_sstable(data: bytes) -> tuple[SSTableInfo, RecordBatch]:
-    """Parse a complete SSTable (header + key block + value block)."""
+def parse_sstable(data: _Buffer) -> tuple[SSTableInfo, RecordBatch]:
+    """Parse a complete SSTable (header + key block + value block).
+
+    Accepts any buffer; the returned batch owns its arrays (the block
+    decoders copy), so the input may be an mmap slice that is unmapped
+    right after the call.
+    """
     info = parse_header(data)
     if len(data) < info.total_len:
         raise BlockCorruptionError("truncated SSTable body")
@@ -150,7 +161,7 @@ def parse_sstable(data: bytes) -> tuple[SSTableInfo, RecordBatch]:
     return info, RecordBatch(keys, rids, info.value_size)
 
 
-def parse_keys_only(data: bytes) -> tuple[SSTableInfo, np.ndarray]:
+def parse_keys_only(data: _Buffer) -> tuple[SSTableInfo, np.ndarray]:
     """Parse just the header and key block.
 
     Query clients use this to fetch key blocks first (paper §VII-A) and

@@ -1,0 +1,253 @@
+"""Golden edge-case corpus for the kernel seam.
+
+Pins the exact outputs of every :class:`repro.kernels.api.Kernels`
+slot on the inputs most likely to diverge between the scalar and
+vector backends: empty arrays, single records, NaN variants
+(including payload and sign bits), ±inf, ±0.0, subnormals, keys
+exactly on pivot boundaries, and float32-vs-float64 comparison
+traps.  Keys travel as float32 *bit patterns* (hex) so the corpus is
+exact — no decimal round trip can smudge a NaN payload.
+
+``cases.json`` is checked in; ``test_edge_cases.py`` asserts that
+*both* backends reproduce every pinned output and that re-running
+this builder reproduces the checked-in file byte for byte.
+Regenerate (after an intentional contract change) with::
+
+    PYTHONPATH=src python tests/kernels/corpus/generate.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.kernels import VECTOR_KERNELS
+
+CORPUS_DIR = Path(__file__).parent
+
+# float32 bit patterns, named
+NAN = "7fc00000"          # canonical quiet NaN
+NAN_PAYLOAD = "7fc00123"  # quiet NaN with a mantissa payload
+NAN_NEG = "ffc00000"      # sign-flipped quiet NaN
+NAN_SIGNALING = "7f800001"
+INF = "7f800000"
+NEG_INF = "ff800000"
+NEG_ZERO = "80000000"
+POS_ZERO = "00000000"
+SUBNORMAL_MIN = "00000001"
+SUBNORMAL_MIN_NEG = "80000001"
+MAX_FINITE = "7f7fffff"
+ONE = "3f800000"
+BELOW_ONE = "3f7fffff"    # np.nextafter(1.0, 0.0) in float32
+ABOVE_ONE = "3f800001"
+THREE = "40400000"
+BELOW_THREE = "403fffff"
+ABOVE_THREE = "40400001"
+NEG_ONE = "bf800000"
+
+SPECIALS = [
+    NAN, NAN_PAYLOAD, NAN_NEG, NAN_SIGNALING, INF, NEG_INF,
+    NEG_ZERO, POS_ZERO, NEG_ONE, ONE, THREE,
+]
+
+
+def keys_from_hex(hex_bits: list[str]) -> np.ndarray:
+    """float32 key array from uint32 bit-pattern hex strings."""
+    bits = np.array([int(h, 16) for h in hex_bits], dtype="<u4")
+    return bits.view("<f4")
+
+
+def hex_from_keys(keys: np.ndarray) -> list[str]:
+    return [f"{int(b):08x}" for b in np.asarray(keys, "<f4").view("<u4")]
+
+
+def _route_case(name: str, bounds: list[float], keys_hex: list[str]) -> dict:
+    dests = VECTOR_KERNELS.route(
+        np.asarray(bounds, dtype=np.float64), keys_from_hex(keys_hex)
+    )
+    return {
+        "name": name,
+        "bounds": bounds,
+        "keys_hex": keys_hex,
+        "dests": [int(d) for d in dests],
+    }
+
+
+def _mask_case(name: str, keys_hex: list[str], lo: float, hi: float) -> dict:
+    mask = VECTOR_KERNELS.range_mask(keys_from_hex(keys_hex), lo, hi)
+    return {
+        "name": name,
+        "keys_hex": keys_hex,
+        "lo": lo,
+        "hi": hi,
+        "mask": [bool(m) for m in mask],
+    }
+
+
+def _interval_case(
+    name: str, keys_hex: list[str], lo: float, hi: float, inclusive_hi: bool
+) -> dict:
+    mask = VECTOR_KERNELS.interval_mask(
+        keys_from_hex(keys_hex), lo, hi, inclusive_hi
+    )
+    return {
+        "name": name,
+        "keys_hex": keys_hex,
+        "lo": lo,
+        "hi": hi,
+        "inclusive_hi": inclusive_hi,
+        "mask": [bool(m) for m in mask],
+    }
+
+
+def _group_case(name: str, dests: list[int]) -> dict:
+    groups = VECTOR_KERNELS.group_runs(np.asarray(dests, dtype=np.int64))
+    return {
+        "name": name,
+        "dests": dests,
+        "groups": [
+            [int(d), [int(i) for i in idx]] for d, idx in groups
+        ],
+    }
+
+
+def _key_codec_case(name: str, keys_hex: list[str]) -> dict:
+    payload = VECTOR_KERNELS.encode_keys(keys_from_hex(keys_hex))
+    return {"name": name, "keys_hex": keys_hex, "payload_hex": payload.hex()}
+
+
+def _value_codec_case(name: str, rids: list[int], value_size: int) -> dict:
+    payload = VECTOR_KERNELS.encode_values(
+        np.asarray(rids, dtype="<u8"), value_size
+    )
+    return {
+        "name": name,
+        "rids": rids,
+        "value_size": value_size,
+        "payload_hex": payload.hex(),
+    }
+
+
+def build_cases() -> dict:
+    """All golden cases, as one JSON-able document."""
+    unit = [0.0, 1.0, 2.0, 3.0]
+    # float64 bounds where the float32 key widens to a *different*
+    # float64: float32(0.1) > 0.1, while float32(0.3) widens exactly
+    # onto the bound below
+    f64_trap = [0.1, 0.2, float(np.float32(0.3)), 0.4]
+    wide = [float(b) for b in np.linspace(50.0, 950.0, 33)]
+    cases = {
+        "route": [
+            _route_case("empty", unit, []),
+            _route_case("single-mid", unit, ["3fc00000"]),  # 1.5 -> 1
+            _route_case(
+                "specials", unit,
+                [NAN, INF, NEG_INF, NEG_ZERO, THREE],
+            ),
+            _route_case("nan-variants", unit,
+                        [NAN, NAN_PAYLOAD, NAN_NEG, NAN_SIGNALING]),
+            _route_case("pivot-boundaries", unit,
+                        [POS_ZERO, ONE, "40000000", THREE]),
+            _route_case(
+                "boundary-neighbors", unit,
+                [BELOW_ONE, ABOVE_ONE, BELOW_THREE, ABOVE_THREE],
+            ),
+            _route_case(
+                "subnormals", unit,
+                [SUBNORMAL_MIN, SUBNORMAL_MIN_NEG, MAX_FINITE, NEG_ONE],
+            ),
+            _route_case(
+                "float64-widening", f64_trap,
+                [hex_from_keys(np.array([0.1, 0.2, 0.3], "<f4"))[i]
+                 for i in range(3)],
+            ),
+            _route_case(
+                "wide-table", wide,
+                hex_from_keys(np.array(
+                    [49.999996, 50.0, 500.0, 528.125, 950.0, 950.0001],
+                    "<f4",
+                )),
+            ),
+        ],
+        "range_mask": [
+            _mask_case("empty", [], 0.0, 3.0),
+            _mask_case("specials", SPECIALS, 0.0, 3.0),
+            _mask_case("closed-endpoints", [POS_ZERO, NEG_ZERO, ONE, THREE,
+                                            ABOVE_THREE], 0.0, 3.0),
+            _mask_case("point-range", [BELOW_ONE, ONE, ABOVE_ONE], 1.0, 1.0),
+            _mask_case("f64-lo", [hex_from_keys(
+                np.array([0.1], "<f4"))[0]], 0.1, 1.0),
+        ],
+        "interval_mask": [
+            _interval_case("half-open-hi", [POS_ZERO, ONE, THREE], 0.0, 3.0,
+                           False),
+            _interval_case("closed-hi", [POS_ZERO, ONE, THREE], 0.0, 3.0,
+                           True),
+            _interval_case("specials-half-open", SPECIALS, 0.0, 3.0, False),
+            _interval_case("neg-zero-lo", [NEG_ZERO, POS_ZERO], 0.0, 1.0,
+                           False),
+            _interval_case("empty", [], 0.0, 1.0, True),
+        ],
+        "group_runs": [
+            _group_case("empty", []),
+            _group_case("single", [2]),
+            _group_case("single-oob", [-1]),
+            _group_case("interleaved", [2, -1, 0, 2, 0, -1, 1]),
+            _group_case("all-same", [3, 3, 3, 3]),
+            _group_case("descending", [3, 2, 1, 0, -1]),
+        ],
+        "key_codec": [
+            _key_codec_case("empty", []),
+            _key_codec_case("single", [ONE]),
+            _key_codec_case("specials", SPECIALS),
+            _key_codec_case(
+                "subnormals",
+                [SUBNORMAL_MIN, SUBNORMAL_MIN_NEG, MAX_FINITE],
+            ),
+        ],
+        "value_codec": [
+            _value_codec_case("empty", [], 16),
+            _value_codec_case("single-no-filler", [42], 8),
+            _value_codec_case(
+                "rid-widths",
+                [0, 1, 255, 256, 65535, 2**32, 2**64 - 1], 8,
+            ),
+            _value_codec_case("filler", [3, 7, 255], 24),
+            _value_codec_case("filler-wide", [2**63 + 9], 40),
+        ],
+    }
+    _check_semantics(cases)
+    return cases
+
+
+def _check_semantics(cases: dict) -> None:
+    """Hand-derived anchors: the builder must never pin a wrong golden."""
+    by_name = {c["name"]: c for c in cases["route"]}
+    # bounds [0,1,2,3] -> 3 partitions; NaN -> nparts, +/-inf -> OOB,
+    # -0.0 -> partition 0, key == bounds[-1] -> last partition
+    assert by_name["specials"]["dests"] == [3, -1, -1, 0, 2]
+    assert by_name["nan-variants"]["dests"] == [3, 3, 3, 3]
+    assert by_name["pivot-boundaries"]["dests"] == [0, 1, 2, 2]
+    assert by_name["boundary-neighbors"]["dests"] == [0, 1, 2, -1]
+    masks = {c["name"]: c for c in cases["range_mask"]}
+    # closed range: both endpoints in; -0.0 == 0.0; NaN never matches
+    assert masks["closed-endpoints"]["mask"] == [True, True, True, True, False]
+    assert masks["specials"]["mask"][:6] == [False] * 6  # NaNs + infs out
+    groups = {c["name"]: c for c in cases["group_runs"]}
+    assert groups["interleaved"]["groups"] == [
+        [-1, [1, 5]], [0, [2, 4]], [1, [6]], [2, [0, 3]],
+    ]
+
+
+def main() -> None:
+    cases = build_cases()
+    out = CORPUS_DIR / "cases.json"
+    out.write_text(json.dumps(cases, indent=1, sort_keys=True) + "\n")
+    n = sum(len(v) for v in cases.values())
+    print(f"wrote {out} ({n} cases)")
+
+
+if __name__ == "__main__":
+    main()

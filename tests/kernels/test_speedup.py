@@ -1,0 +1,77 @@
+"""The vector backend must actually be fast, not just equivalent.
+
+The hard ≥5× gate with committed baselines lives in the carp-perf
+``ingest-route`` / ``probe`` workloads; this tier-1 test is the smoke
+version of the same claim so a silent de-vectorization (e.g. a stray
+``.tolist()`` creeping into a hot loop) fails the plain test suite
+too, without waiting for the perf job.  Best-of-3 on both sides keeps
+it stable on a loaded CI box: both backends are CPU-bound in the same
+process, so load slows them together.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.kernels import SCALAR_KERNELS, VECTOR_KERNELS
+
+N = 200_000
+#: The gate is 5×; measured margins are 8× (route) to 60× (masks).
+MIN_SPEEDUP = 5.0
+
+
+def _keys(n: int) -> np.ndarray:
+    # deterministic, well-spread keys (same synthesis as the perf
+    # harness): no RNG, range ~[0, 1031]
+    raw = (np.arange(n, dtype=np.uint64) * np.uint64(2654435761)) % np.uint64(
+        100003
+    )
+    return (raw.astype(np.float64) / 97.0).astype("<f4")
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _speedup(run) -> float:
+    scalar = _best_of(lambda: run(SCALAR_KERNELS))
+    vector = _best_of(lambda: run(VECTOR_KERNELS))
+    return scalar / max(vector, 1e-9)
+
+
+def test_route_speedup():
+    bounds = np.linspace(50.0, 950.0, 33)
+    keys = _keys(N)
+    ratio = _speedup(lambda k: k.route(bounds, keys))
+    assert ratio >= MIN_SPEEDUP, f"route speedup {ratio:.1f}x < {MIN_SPEEDUP}x"
+
+
+def test_range_mask_speedup():
+    keys = _keys(N)
+    ratio = _speedup(lambda k: k.range_mask(keys, 250.0, 260.0))
+    assert ratio >= MIN_SPEEDUP, f"mask speedup {ratio:.1f}x < {MIN_SPEEDUP}x"
+
+
+def test_key_codec_speedup():
+    keys = _keys(N)
+    payload = VECTOR_KERNELS.encode_keys(keys)
+    ratio = _speedup(
+        lambda k: (k.encode_keys(keys), k.decode_keys(payload))
+    )
+    assert ratio >= MIN_SPEEDUP, f"key codec {ratio:.1f}x < {MIN_SPEEDUP}x"
+
+
+def test_value_codec_speedup():
+    rids = np.arange(N, dtype="<u8") * np.uint64(7919)
+    payload = VECTOR_KERNELS.encode_values(rids, 24)
+    ratio = _speedup(
+        lambda k: (k.encode_values(rids, 24), k.decode_values(payload, 24))
+    )
+    assert ratio >= MIN_SPEEDUP, f"value codec {ratio:.1f}x < {MIN_SPEEDUP}x"

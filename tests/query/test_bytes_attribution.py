@@ -1,0 +1,125 @@
+"""Probes touch only in-range SST byte ranges — nothing else.
+
+Before the mmap readers, ``PartitionedStore.query`` re-read whole log
+files per probe; this pins the fix.  ``LogReader.touched`` records the
+``(offset, length)`` of every span actually consulted, so the test can
+assert byte-range containment exactly: every touched span lies inside
+a manifest entry that overlaps the query, the totals reconcile with
+the cost report ``carp-explain`` renders, and a narrow query reads
+strictly less than the file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.carp import CarpRun
+from repro.core.config import CarpOptions
+from repro.core.records import RecordBatch
+from repro.query.engine import PartitionedStore
+from repro.storage.blocks import key_block_size
+from repro.storage.log import list_logs
+from repro.storage.sstable import HEADER_SIZE
+
+OPTIONS = CarpOptions(
+    pivot_count=16,
+    oob_capacity=32,
+    renegotiations_per_epoch=2,
+    memtable_records=64,
+    round_records=32,
+    value_size=24,
+)
+
+NRANKS = 2
+EPOCHS = 2
+
+#: A narrow slice of the [0, 100] key domain: overlaps some SSTs per
+#: epoch but nowhere near all of them.
+LO, HI = 40.0, 45.0
+
+
+@pytest.fixture(scope="module")
+def db_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("attribution")
+    with CarpRun(NRANKS, out, OPTIONS) as run:
+        for epoch in range(EPOCHS):
+            streams = [
+                RecordBatch(
+                    np.linspace(rank, 100.0 + rank, 400, dtype="<f4"),
+                    np.arange(400, dtype="<u8")
+                    + np.uint64(rank) * np.uint64(1 << 32),
+                    OPTIONS.value_size,
+                )
+                for rank in range(NRANKS)
+            ]
+            run.ingest_epoch(epoch, streams)
+    return out
+
+
+def _spans_within(touched, allowed) -> bool:
+    """Every touched (offset, length) lies inside one allowed entry."""
+    return all(
+        any(off >= a_off and off + length <= a_off + a_len
+            for a_off, a_len in allowed)
+        for off, length in touched
+    )
+
+
+@pytest.mark.parametrize("keys_only", [False, True], ids=["values", "keys"])
+def test_probe_touches_only_in_range_entries(db_dir, keys_only):
+    with PartitionedStore(db_dir) as store:
+        result = store.query(0, LO, HI, keys_only=keys_only)
+        assert len(result.keys) > 0
+        candidates = store.overlapping_entries(0, LO, HI)
+        assert candidates, "narrow query should still overlap some SSTs"
+        by_reader: dict[int, list] = {}
+        for reader_idx, entry in candidates:
+            by_reader.setdefault(reader_idx, []).append(entry)
+        total_touched = 0
+        for reader_idx, reader in enumerate(store._readers):
+            allowed = [
+                (e.offset, e.length) for e in by_reader.get(reader_idx, [])
+            ]
+            assert _spans_within(reader.touched, allowed), (
+                f"{reader.path.name}: touched spans escape the in-range "
+                f"entries: {reader.touched} vs {allowed}"
+            )
+            # one span per candidate entry — not one per file
+            assert len(reader.touched) == len(allowed)
+            total_touched += sum(length for _, length in reader.touched)
+        # the touched bytes ARE the accounted bytes (carp-explain
+        # reconciles against the same counters)
+        assert total_touched == result.cost.bytes_read
+        # and strictly less than re-reading the files whole
+        file_bytes = sum(p.stat().st_size for p in list_logs(db_dir))
+        assert total_touched < file_bytes / 2
+
+
+def test_keys_only_touches_key_prefix_only(db_dir):
+    with PartitionedStore(db_dir) as store:
+        store.query(0, LO, HI, keys_only=True)
+        candidates = dict(
+            ((i, e.offset), e) for i, e in store.overlapping_entries(0, LO, HI)
+        )
+        for reader_idx, reader in enumerate(store._readers):
+            for offset, length in reader.touched:
+                entry = candidates[(reader_idx, offset)]
+                expected = min(
+                    HEADER_SIZE + key_block_size(entry.count), entry.length
+                )
+                assert length == expected
+                # with real value payloads the key prefix is a strict
+                # subset of the SST — value blocks stay untouched
+                assert length < entry.length
+
+
+def test_other_epoch_entries_untouched(db_dir):
+    with PartitionedStore(db_dir) as store:
+        store.query(1, LO, HI)
+        epoch0 = {
+            (i, e.offset) for i, e in store.entries(epoch=0)
+        }
+        for reader_idx, reader in enumerate(store._readers):
+            for offset, _length in reader.touched:
+                assert (reader_idx, offset) not in epoch0
